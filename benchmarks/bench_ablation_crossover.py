@@ -1,0 +1,47 @@
+"""Ablation: where the TC-vs-baseline crossover falls per workload.
+
+Figure 3's per-case panels imply but never tabulate the break-even size —
+below it, launch latency and underfilled tiles keep the MMU version from
+winning.  This ablation sweeps each size-parameterized workload across a
+geometric grid on all three GPUs and reports the crossover point."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness import format_table
+from repro.harness.sweep import SIZE_SWEEPS, find_crossover, sweep_sizes
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    out = {}
+    for gpu in ("A100", "H200", "B200"):
+        dev = Device(gpu)
+        for name in SIZE_SWEEPS:
+            out[(gpu, name)] = sweep_sizes(name, dev)
+    return out
+
+
+def build_ablation(sweeps) -> str:
+    rows = []
+    for (gpu, name), points in sorted(sweeps.items()):
+        x = find_crossover(points)
+        sizes = sorted({p.size for p in points})
+        rows.append([name, gpu,
+                     f"{x:,}" if x is not None else "never",
+                     f"{sizes[0]:,} .. {sizes[-1]:,}"])
+    return format_table(
+        ["Workload", "GPU", "TC beats baseline from size", "Sweep range"],
+        rows, title="Ablation: TC-vs-baseline crossover sizes")
+
+
+def test_ablation_crossover(benchmark, sweeps, emit):
+    text = benchmark.pedantic(lambda: build_ablation(sweeps),
+                              rounds=1, iterations=1)
+    emit("ablation_crossover", text)
+    # GEMM on H200: the MMU wins from mid sizes on, never at 32^3
+    gemm = sweeps[("H200", "gemm")]
+    x = find_crossover(gemm)
+    assert x is not None and 32 < x <= 4096
+    # FFT never crosses over (TC stays behind cuFFT — Figure 4)
+    assert find_crossover(sweeps[("H200", "fft")]) is None

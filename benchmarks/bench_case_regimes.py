@@ -1,0 +1,40 @@
+"""Section 5.1's representativeness claim, checked: the five test cases
+per workload 'cover the major GPU performance regimes'."""
+
+import pytest
+
+from repro.analysis.representativeness import Regime, workload_regimes
+from repro.gpu import Device
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+@pytest.fixture(scope="module")
+def profiles(devices):
+    out = []
+    for w in all_workloads():
+        out.extend(workload_regimes(w, devices["H200"]))
+    return out
+
+
+def build_regimes(profiles) -> str:
+    rows = [[p.workload, p.case, p.regime.value, p.bottleneck,
+             f"{p.overhead_fraction:.0%}"] for p in profiles]
+    table = format_table(
+        ["Workload", "Case", "Regime", "Bottleneck", "Overhead"],
+        rows, title="Section 5.1: per-case performance regimes (H200, TC)")
+    regimes = sorted({p.regime.value for p in profiles})
+    table += "\nregimes touched by the suite: " + ", ".join(regimes)
+    return table
+
+
+def test_case_regimes(benchmark, profiles, emit):
+    text = benchmark.pedantic(lambda: build_regimes(profiles),
+                              rounds=1, iterations=1)
+    emit("case_regimes", text)
+    regimes = {p.regime for p in profiles}
+    # the suite as a whole touches every major regime
+    assert regimes == {Regime.LATENCY, Regime.MEMORY, Regime.COMPUTE}
+    # GEMM's size sweep alone spans more than one regime
+    gemm = {p.regime for p in profiles if p.workload == "gemm"}
+    assert len(gemm) >= 2

@@ -1,0 +1,54 @@
+"""Figure 11: PCA of architectural metrics across Rodinia, SHOC, and
+Cubie — Cubie must span the widest region (Observation 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pca, standardize
+from repro.harness import format_table
+from repro.kernels import all_workloads
+from repro.suites import suite_metric_points
+
+
+@pytest.fixture(scope="module")
+def scored(devices):
+    points = suite_metric_points(all_workloads(), devices["H200"])
+    x = np.stack([p.values for p in points])
+    z, _, _ = standardize(x)
+    res = pca(z, 2)
+    return points, res
+
+
+def spread(points, res, suite: str) -> float:
+    """Bounding-box area of one suite's PC1/PC2 scores."""
+    idx = [i for i, p in enumerate(points) if p.suite == suite]
+    sc = res.scores[idx]
+    return float(np.prod(np.ptp(sc, axis=0)))
+
+
+def build_figure11(points, res) -> str:
+    rows = []
+    for i, p in enumerate(points):
+        rows.append([p.suite, p.kernel, f"{res.scores[i, 0]:.2f}",
+                     f"{res.scores[i, 1]:.2f}"])
+    table = format_table(["Suite", "Kernel", "PC1", "PC2"], rows,
+                         title="Figure 11: PCA of architectural metrics")
+    areas = [[s, f"{spread(points, res, s):.2f}"]
+             for s in ("Rodinia", "SHOC", "Cubie")]
+    table += "\n\n" + format_table(
+        ["Suite", "PC bounding-box area"], areas,
+        title="Figure 11 summary: dispersion per suite")
+    table += ("\nExplained variance: "
+              + ", ".join(f"PC{i + 1} {r:.0%}"
+                          for i, r in enumerate(res.explained_ratio)))
+    return table
+
+
+def test_fig11_pca_suites(benchmark, scored, emit):
+    points, res = scored
+    text = benchmark.pedantic(lambda: build_figure11(points, res),
+                              rounds=1, iterations=1)
+    emit("fig11_pca_suites", text)
+    cubie = spread(points, res, "Cubie")
+    assert cubie > spread(points, res, "Rodinia")
+    assert cubie > spread(points, res, "SHOC")

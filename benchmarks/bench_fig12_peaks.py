@@ -1,0 +1,32 @@
+"""Figure 12: peak throughput of the three GPU generations, FP16 vs FP64,
+tensor cores vs CUDA cores — including the FP64 regression on Blackwell."""
+
+from repro.gpu import ALL_GPUS
+from repro.harness import format_table
+
+
+def build_figure12() -> str:
+    rows = []
+    for g in ALL_GPUS:
+        rows.append([g.architecture,
+                     f"{g.tc_fp16 / 1e12:.1f}",
+                     f"{g.cc_fp16 / 1e12:.1f}",
+                     f"{g.tc_fp64 / 1e12:.1f}",
+                     f"{g.cc_fp64 / 1e12:.1f}",
+                     f"{g.tc_cc_ratio:.1f}x"])
+    return format_table(
+        ["Architecture", "FP16 TC (TFLOPS)", "FP16 CC", "FP64 TC",
+         "FP64 CC", "FP64 TC:CC"],
+        rows, title="Figure 12: peak throughput across GPU generations")
+
+
+def test_fig12_peaks(benchmark, emit):
+    text = benchmark(build_figure12)
+    emit("fig12_peaks", text)
+    ampere, hopper, blackwell = ALL_GPUS
+    # FP16 keeps scaling...
+    assert ampere.tc_fp16 < hopper.tc_fp16 < blackwell.tc_fp16
+    # ...while FP64 TC regresses on Blackwell (the paper's concern)
+    assert blackwell.tc_fp64 < hopper.tc_fp64
+    assert blackwell.tc_fp64 < 0.5 * hopper.tc_fp64 * 1.2
+    assert blackwell.tc_cc_ratio == 1.0

@@ -1,0 +1,28 @@
+"""Figure 2: measured MMU utilization quadrants."""
+
+from repro.analysis import classify
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+def build_figure2() -> str:
+    rows = []
+    for w in all_workloads():
+        p = classify(w)
+        rows.append([w.name,
+                     f"{p.input_utilization:.2f}",
+                     "full" if p.input_full else "partial",
+                     f"{p.output_utilization:.2f}",
+                     "full" if p.output_full else "partial",
+                     p.quadrant.value])
+    return format_table(
+        ["Workload", "Input util", "Input", "Output util", "Output",
+         "Quadrant"],
+        rows, title="Figure 2: MMU utilization quadrants (measured)")
+
+
+def test_fig2_quadrants(benchmark, emit):
+    text = benchmark.pedantic(build_figure2, rounds=1, iterations=1)
+    emit("fig2_quadrants", text)
+    # the measured grouping must match the paper's Figure 2
+    assert "scan" in text and "II" in text

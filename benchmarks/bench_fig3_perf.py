@@ -1,0 +1,32 @@
+"""Figure 3: absolute performance of all workloads, variants, cases, and
+GPUs — the suite's master performance sweep."""
+
+import pytest
+
+from repro.harness import format_table, run_performance
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_performance()
+
+
+def build_figure3(records) -> str:
+    rows = []
+    for r in records:
+        perf = (f"{r.flops / 1e12:.3f} TFLOP/s" if r.flops > 0
+                else f"{1.0 / r.time_s:,.0f} trav/s")
+        rows.append([r.gpu, r.workload, r.case, r.variant,
+                     f"{r.time_s * 1e6:.2f} us", perf, r.bottleneck])
+    return format_table(
+        ["GPU", "Workload", "Case", "Variant", "Time", "Performance",
+         "Bound by"],
+        rows, title="Figure 3: absolute performance (modeled, paper-scale)")
+
+
+def test_fig3_perf(benchmark, records, emit):
+    text = benchmark.pedantic(lambda: build_figure3(records),
+                              rounds=1, iterations=1)
+    emit("fig3_perf", text)
+    # 3 GPUs x (9 workloads x 5 cases x >=3 variants + pic x 2 variants)
+    assert text.count("\n") > 400

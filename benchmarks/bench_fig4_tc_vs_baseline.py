@@ -1,0 +1,24 @@
+"""Figure 4: speedups of TC implementations over their baselines."""
+
+import pytest
+
+from repro.harness import format_speedups, run_performance, speedup_summary
+from repro.kernels import Variant
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_performance()
+
+
+def test_fig4_tc_vs_baseline(benchmark, records, emit):
+    speedups = benchmark.pedantic(
+        lambda: speedup_summary(records, Variant.TC, Variant.BASELINE),
+        rounds=1, iterations=1)
+    text = format_speedups(
+        speedups, "Figure 4: TC speedup over baseline (mean of 5 cases)")
+    emit("fig4_tc_vs_baseline", text)
+    # headline shapes: GEMM accelerates, FFT does not (Observation 3)
+    assert speedups[("H200", "gemm")] > 1.5
+    assert speedups[("H200", "fft")] < 1.0
+    assert speedups[("H200", "spgemm")] > 2.2

@@ -1,0 +1,24 @@
+"""Figure 5: speedups of the CC (CUDA-core MMA replacement) over TC."""
+
+import pytest
+
+from repro.harness import format_speedups, run_performance, speedup_summary
+from repro.kernels import Variant
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_performance()
+
+
+def test_fig5_cc_vs_tc(benchmark, records, emit):
+    speedups = benchmark.pedantic(
+        lambda: speedup_summary(records, Variant.CC, Variant.TC),
+        rounds=1, iterations=1)
+    text = format_speedups(
+        speedups, "Figure 5: CC speedup over TC (mean of 5 cases)")
+    emit("fig5_cc_vs_tc", text)
+    # Observation 4: replacing MMUs costs 10%-200% of performance
+    assert speedups[("H200", "scan")] < 0.5
+    assert 0.3 < speedups[("A100", "gemm")] < 0.75
+    assert speedups[("B200", "gemm")] > speedups[("H200", "gemm")]

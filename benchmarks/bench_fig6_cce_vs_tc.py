@@ -1,0 +1,26 @@
+"""Figure 6: speedups of CC-E (essential computations only) over TC for
+Quadrants II-IV."""
+
+import pytest
+
+from repro.harness import format_speedups, run_performance, speedup_summary
+from repro.kernels import Quadrant, Variant, all_workloads
+
+
+@pytest.fixture(scope="module")
+def records():
+    quad234 = [w for w in all_workloads() if w.quadrant is not Quadrant.I]
+    return run_performance(workloads=quad234)
+
+
+def test_fig6_cce_vs_tc(benchmark, records, emit):
+    speedups = benchmark.pedantic(
+        lambda: speedup_summary(records, Variant.CCE, Variant.TC),
+        rounds=1, iterations=1)
+    text = format_speedups(
+        speedups, "Figure 6: CC-E speedup over TC (Quadrants II-IV)")
+    emit("fig6_cce_vs_tc", text)
+    # Observation 5: redundancy is worth keeping except for SpMV
+    assert speedups[("H200", "spmv")] >= 1.0
+    assert speedups[("H200", "scan")] < 0.5
+    assert 0.85 < speedups[("H200", "spgemm")] < 1.15

@@ -1,0 +1,49 @@
+"""Figure 7: energy-delay product on H200, per workload and variant, with
+per-quadrant geometric means (Quadrants II and III reported together)."""
+
+import pytest
+
+from repro.analysis import edp_study, quadrant_geomeans
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+@pytest.fixture(scope="module")
+def entries(devices):
+    out = []
+    for w in all_workloads():
+        out.extend(edp_study(w, devices["H200"]))
+    return out
+
+
+def build_figure7(entries) -> str:
+    rows = [[e.workload, e.quadrant.value, e.variant, f"{e.repeats:,}",
+             f"{e.loop_time_s:.3f} s", f"{e.avg_power_w:.0f} W",
+             f"{e.edp:.4g} J*s"]
+            for e in entries]
+    table = format_table(
+        ["Workload", "Quadrant", "Variant", "Repeats", "Loop time",
+         "Avg power", "EDP"],
+        rows, title="Figure 7: EDP on H200 (kernel loop per Section 7)")
+    gm = quadrant_geomeans(entries)
+    gm_rows = []
+    for q, per_variant in sorted(gm.items(), key=lambda kv: kv[0].value):
+        label = "II+III" if q.value == "II" else q.value
+        for v, edp in sorted(per_variant.items()):
+            gm_rows.append([label, v, f"{edp:.4g} J*s"])
+    table += "\n\n" + format_table(
+        ["Quadrant", "Variant", "Geomean EDP"], gm_rows,
+        title="Figure 7 (right): per-quadrant geometric means")
+    return table
+
+
+def test_fig7_edp(benchmark, entries, emit):
+    text = benchmark.pedantic(lambda: build_figure7(entries),
+                              rounds=1, iterations=1)
+    emit("fig7_edp", text)
+    gm = quadrant_geomeans(entries)
+    # Observation 6: TC lowers geomean EDP vs baseline in every quadrant
+    for q, per_variant in gm.items():
+        if "baseline" in per_variant:
+            reduction = 1.0 - per_variant["tc"] / per_variant["baseline"]
+            assert reduction > 0.2, (q, reduction)

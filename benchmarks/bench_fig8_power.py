@@ -1,0 +1,44 @@
+"""Figure 8: power consumption over time on H200 (NVML-style traces)."""
+
+import pytest
+
+from repro.analysis import power_trace_study
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+@pytest.fixture(scope="module")
+def traces(devices):
+    out = {}
+    for w in all_workloads():
+        out[w.name] = power_trace_study(w, devices["H200"])
+    return out
+
+
+def build_figure8(traces) -> str:
+    rows = []
+    for name, per_variant in traces.items():
+        for variant, tr in per_variant.items():
+            # five-point sparkline of the sampled curve
+            idx = [0, len(tr.power_w) // 4, len(tr.power_w) // 2,
+                   3 * len(tr.power_w) // 4, len(tr.power_w) - 1]
+            spark = " ".join(f"{tr.power_w[i]:.0f}" for i in idx)
+            rows.append([name, variant, f"{tr.duration_s:.3f} s",
+                         f"{tr.average_power_w:.0f} W",
+                         f"{tr.energy_j:.4g} J", spark])
+    return format_table(
+        ["Workload", "Variant", "Window", "Avg power", "Energy",
+         "P(t) samples (W)"],
+        rows, title="Figure 8: power over time on H200")
+
+
+def test_fig8_power(benchmark, traces, emit):
+    text = benchmark.pedantic(lambda: build_figure8(traces),
+                              rounds=1, iterations=1)
+    emit("fig8_power", text)
+    # Quadrant I TC runs hot (paper: often exceeding 400 W on H200)
+    gemm_tc = traces["gemm"]["tc"]
+    assert gemm_tc.average_power_w > 350
+    # Scan TC runs cool (paper: ~244 W)
+    scan_tc = traces["scan"]["tc"]
+    assert scan_tc.average_power_w < 400

@@ -1,0 +1,49 @@
+"""Figure 9: cache-aware roofline for Cubie on H200."""
+
+import pytest
+
+from repro.analysis import suite_roofline
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+@pytest.fixture(scope="module")
+def roof(devices):
+    return suite_roofline(all_workloads(), devices["H200"])
+
+
+def build_figure9(roof) -> str:
+    header = (
+        f"Ceilings on {roof.spec.name}: "
+        f"TC {roof.tc_ceiling / 1e12:.1f} TFLOP/s, "
+        f"CC {roof.cc_ceiling / 1e12:.1f} TFLOP/s, "
+        f"DRAM {roof.spec.dram_bw / 1e12:.1f} TB/s, "
+        f"L1 {roof.spec.l1_bw / 1e12:.1f} TB/s "
+        f"(BW_L1 = N_SM x N_LSU x W_access x f_clock); "
+        f"TC ridge at {roof.ridge_point('tc'):.1f} flop/B")
+    rows = [[p.workload, p.variant, f"{p.intensity:.3g}",
+             f"{p.performance / 1e12:.4g}", p.bottleneck,
+             "yes" if p.performance > roof.dram_roof(p.intensity) * 0.999
+             else "no"]
+            for p in roof.points]
+    table = format_table(
+        ["Workload", "Variant", "AI (flop/B)", "Perf (TFLOP/s)",
+         "Bound by", "Above DRAM roof"],
+        rows, title="Figure 9: cache-aware roofline points (H200)")
+    return header + "\n\n" + table
+
+
+def test_fig9_roofline(benchmark, roof, emit):
+    text = benchmark.pedantic(lambda: build_figure9(roof),
+                              rounds=1, iterations=1)
+    emit("fig9_roofline", text)
+    by = {(p.workload, p.variant): p for p in roof.points}
+    # GEMM is compute bound but below the TC peak (Section 9)
+    gemm = by[("gemm", "tc")]
+    assert gemm.bottleneck == "tensor"
+    assert gemm.performance < roof.tc_ceiling
+    # Quadrant IV TC points approach the bandwidth limit
+    spmv = by[("spmv", "tc")]
+    assert spmv.bottleneck == "dram"
+    # BFS excluded
+    assert not any(p.workload == "bfs" for p in roof.points)

@@ -1,0 +1,21 @@
+"""Table 2: the Cubie suite — workloads, test cases, baselines."""
+
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+def build_table2() -> str:
+    rows = []
+    for w in all_workloads():
+        cases = ", ".join(c.label for c in w.cases())
+        rows.append([w.name, w.quadrant.value, w.dwarf, cases,
+                     w.baseline_name])
+    return format_table(
+        ["Kernel", "Quadrant", "Dwarf", "Five Test Cases", "Baseline"],
+        rows, title="Table 2: Cubie benchmark suite")
+
+
+def test_table2_suite(benchmark, emit):
+    text = benchmark(build_table2)
+    emit("table2_suite", text)
+    assert text.count("\n") >= 11  # header + separator + ten workloads

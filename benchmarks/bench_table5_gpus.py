@@ -1,0 +1,25 @@
+"""Table 5: specifications of the three simulated GPUs."""
+
+from repro.gpu import ALL_GPUS
+from repro.harness import format_table
+
+
+def build_table5() -> str:
+    rows = []
+    for g in ALL_GPUS:
+        rows.append([
+            f"{g.name} ({g.architecture})",
+            f"{g.dram_capacity / 1e9:.0f} GB, {g.dram_bw / 1e12:.3g} TB/s",
+            f"Tensor Core: {g.tc_fp64 / 1e12:.1f} TFLOPs",
+            f"CUDA Core: {g.cc_fp64 / 1e12:.1f} TFLOPs",
+            f"TDP {g.tdp_w:.0f} W",
+        ])
+    return format_table(
+        ["NVIDIA GPU", "Memory", "FP64 TC peak", "FP64 CC peak", "Power"],
+        rows, title="Table 5: specifications of the three GPUs tested")
+
+
+def test_table5_gpus(benchmark, emit):
+    text = benchmark(build_table5)
+    emit("table5_gpus", text)
+    assert "H200" in text and "66.9" in text

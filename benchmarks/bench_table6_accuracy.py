@@ -1,0 +1,51 @@
+"""Table 6: FP64 numerical errors of all variants vs the CPU-serial
+reference, on H200 and B200 (functional execution — real rounding)."""
+
+import pytest
+
+from repro.analysis import accuracy_table
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+@pytest.fixture(scope="module")
+def entries(devices):
+    out = {}
+    for gpu in ("H200", "B200"):
+        rows = []
+        for w in all_workloads():
+            if not w.floating_point:
+                continue  # BFS excluded, as in the paper
+            rows.extend(accuracy_table(w, devices[gpu]))
+        out[gpu] = rows
+    return out
+
+
+def build_table6(entries) -> str:
+    parts = []
+    for gpu, rows in entries.items():
+        table_rows = [[e.workload, e.variant, f"{e.avg_error:.3E}",
+                       f"{e.max_error:.3E}", f"{e.samples:,}"]
+                      for e in rows]
+        parts.append(format_table(
+            ["Workload", "Variant", "Avg. error", "Max. error", "n"],
+            table_rows,
+            title=f"Table 6: FP64 numerical errors on {gpu}"))
+    return "\n\n".join(parts)
+
+
+def test_table6_accuracy(benchmark, entries, emit):
+    text = benchmark.pedantic(lambda: build_table6(entries),
+                              rounds=1, iterations=1)
+    emit("table6_accuracy", text)
+    # Observation 7 structure: TC and CC identical for every workload
+    for gpu, rows in entries.items():
+        by = {(e.workload, e.variant): e for e in rows}
+        for (w, v), e in by.items():
+            if v == "tc":
+                cc = by[(w, "cc")]
+                assert e.avg_error == cc.avg_error, (gpu, w)
+                assert e.max_error == cc.max_error, (gpu, w)
+    # CC-E deviates from TC/CC for SpMV (the paper's example)
+    h200 = {(e.workload, e.variant): e for e in entries["H200"]}
+    assert h200[("spmv", "cce")].avg_error != h200[("spmv", "tc")].avg_error

@@ -1,0 +1,31 @@
+"""Table 7: Berkeley-dwarf coverage of Rodinia, SHOC, and Cubie."""
+
+from repro.analysis import coverage_table
+from repro.analysis.dwarfs import DWARF_ORDER, FEATURE_ORDER
+from repro.harness import format_table
+from repro.kernels import all_workloads
+
+
+def build_table7() -> str:
+    suites = coverage_table(all_workloads())
+    rows = []
+    for dwarf in DWARF_ORDER:
+        rows.append([dwarf] + [str(s.dwarf_counts.get(dwarf, "-") or "-")
+                               for s in suites])
+    for feature in FEATURE_ORDER:
+        rows.append([feature] + ["x" if feature in s.features else ""
+                                 for s in suites])
+    rows.append(["dwarfs covered"] + [str(s.dwarfs_covered)
+                                      for s in suites])
+    return format_table(
+        ["Dwarf / Feature"] + [s.name for s in suites], rows,
+        title="Table 7: dwarf and feature coverage per suite")
+
+
+def test_table7_dwarfs(benchmark, emit):
+    text = benchmark(build_table7)
+    emit("table7_dwarfs", text)
+    suites = {s.name: s for s in coverage_table(all_workloads())}
+    assert suites["Cubie"].dwarfs_covered == 7
+    assert suites["Rodinia"].dwarfs_covered == 5
+    assert suites["SHOC"].dwarfs_covered == 5

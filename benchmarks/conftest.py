@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures: it times
+the computation with pytest-benchmark and writes the regenerated
+rows/series to ``benchmarks/out/<name>.txt`` (also echoed when running
+with ``-s``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): persist + echo one regenerated artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> Path:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def devices():
+    from repro.gpu import Device
+
+    return {name: Device(name) for name in ("A100", "H200", "B200")}

@@ -1,0 +1,54 @@
+"""Graph reachability with the BerryBees-style bit-tensor BFS.
+
+Runs breadth-first search over the five Table 3 graph stand-ins, printing
+level histograms (the frontier growth the paper's Quadrant IV analysis
+depends on) and the TC / CC / CC-E / Gunrock comparison on the simulated
+H200.
+
+Usage:  python examples/graph_reachability.py [graph-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.datasets import BFS_GRAPHS
+from repro.gpu import Device
+from repro.kernels import BfsWorkload, Variant
+from repro.harness import format_seconds, format_table
+
+
+def explore(name: str | None = None) -> None:
+    w = BfsWorkload()
+    device = Device("H200")
+    cases = [c for c in w.cases() if name is None or c.label == name]
+    if not cases:
+        raise SystemExit(
+            f"unknown graph {name!r}; options: "
+            + ", ".join(g.name for g in BFS_GRAPHS))
+    for case in cases:
+        data = w.prepare(case)
+        results = {v: w.execute(v, data, device) for v in w.variants()}
+        levels = results[Variant.TC].output
+        reached = levels >= 0
+        print(f"\n=== {case.label}: {data['n']:,} vertices, "
+              f"{data['n_edges']:,} edges ===")
+        print(f"bitmap tiles: {data['bitmap'].n_tiles:,} "
+              f"({data['bitmap'].bits_per_edge:.1f} stored bits/edge)")
+        print(f"reached {int(reached.sum()):,} vertices "
+              f"({reached.mean():.0%}) in {int(levels.max())} levels")
+        hist = np.bincount(levels[reached])
+        print("frontier sizes per level:",
+              " ".join(f"{h:,}" for h in hist))
+        rows = []
+        t_tc = results[Variant.TC].time_s
+        for v, r in results.items():
+            rows.append([v.value, format_seconds(r.time_s),
+                         f"{r.power_w:.0f} W",
+                         f"{t_tc / r.time_s:.2f}x"])
+        print(format_table(["variant", "modeled time", "power",
+                            "vs TC"], rows))
+
+
+if __name__ == "__main__":
+    explore(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,68 @@
+"""Heat diffusion on a 2-D plate via the stencil workload.
+
+A scientific-application view of the Cubie stencil kernel: an explicit
+finite-difference heat solver steps a plate with a hot corner, using the
+LoRAStencil-style low-rank sweep for the update.  Each simulated timestep
+is costed on the simulated H200 for both the tensor-core and the DRStencil
+baseline variants, so the script reports the end-to-end application-level
+speedup and energy saving the paper's Section 7 example describes
+(Stencil: 15 s baseline vs 5.5 s TC).
+
+Usage:  python examples/heat_diffusion.py [n] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.gpu import Device
+from repro.kernels import StencilWorkload, Variant
+from repro.kernels.stencil import STAR2D1R_WEIGHTS
+
+
+def simulate(n: int = 2048, steps: int = 200) -> None:
+    w = StencilWorkload()
+    device = Device("H200")
+
+    # initial condition: cold plate, hot corner blob
+    grid = np.zeros((n, n))
+    grid[: n // 8, : n // 8] = 100.0
+
+    # one analytic stencil sweep costs this much per variant
+    from repro.kernels.base import WorkloadCase
+    case = WorkloadCase(label=f"heat:{n}x{n}",
+                        params={"kind": "star2d1r", "nx": n, "ny": n,
+                                "nz": 1})
+    cost = {v: device.resolve(w.analytic_stats(v, case))
+            for v in (Variant.TC, Variant.BASELINE)}
+
+    data = {"kind": "star2d1r", "grid": grid, "nx": n, "ny": n, "nz": 1}
+    total_heat0 = grid.sum()
+    for step in range(steps):
+        data["grid"] = w._sweep(data, order="lowrank")
+    c0, cx, cy = STAR2D1R_WEIGHTS
+
+    print(f"Heat diffusion, {n}x{n} plate, {steps} steps "
+          f"(weights c0={c0}, cx={cx}, cy={cy})")
+    print(f"  initial heat {total_heat0:10.1f}")
+    print(f"  final heat   {data['grid'].sum():10.1f} "
+          f"(open boundary: heat leaks out)")
+    print(f"  hottest cell {data['grid'].max():10.3f}")
+    print()
+    t_tc = cost[Variant.TC].time_s * steps
+    t_base = cost[Variant.BASELINE].time_s * steps
+    e_tc = cost[Variant.TC].energy_j * steps
+    e_base = cost[Variant.BASELINE].energy_j * steps
+    print(f"Modeled on {device.spec.name} for {steps} sweeps:")
+    print(f"  tensor-core (LoRAStencil) : {t_tc * 1e3:8.2f} ms, "
+          f"{e_tc:8.2f} J at {cost[Variant.TC].power_w:.0f} W")
+    print(f"  baseline (DRStencil)      : {t_base * 1e3:8.2f} ms, "
+          f"{e_base:8.2f} J at {cost[Variant.BASELINE].power_w:.0f} W")
+    print(f"  speedup {t_base / t_tc:.2f}x, energy saved "
+          f"{(1 - e_tc / e_base) * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    simulate(n, steps)

@@ -1,0 +1,59 @@
+"""Quickstart: evaluate one workload on the three simulated GPUs.
+
+Runs the GEMM workload functionally (real FP64 arithmetic through the MMA
+emulation) and through the analytic model at paper scale, printing the
+TC-vs-baseline comparison the paper's Figure 4 reports.
+
+Usage:  python examples/quickstart.py [workload]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Device, Variant, get_workload
+from repro.harness import format_seconds, format_table
+
+
+def main(name: str = "gemm") -> None:
+    workload = get_workload(name)
+    print(f"Workload: {workload.name} (Quadrant {workload.quadrant.value}, "
+          f"dwarf: {workload.dwarf})")
+    print(f"Baseline: {workload.baseline_name}\n")
+
+    # 1. functional execution: real outputs, measured counters
+    device = Device("H200")
+    case = workload.exec_case(workload.representative_case())
+    data = workload.prepare(case)
+    reference = workload.reference(data)
+    print(f"Functional run of case {case.label!r} on {device.spec.name}:")
+    for variant in workload.variants():
+        result = workload.execute(variant, data, device)
+        err = np.abs(np.asarray(result.output, dtype=complex)
+                     - np.asarray(reference, dtype=complex)).max()
+        print(f"  {variant.value:9s} modeled time {format_seconds(result.time_s):>10s}"
+              f"   max error vs serial CPU: {err:.2e}")
+
+    # 2. analytic model at paper scale, all GPUs
+    rows = []
+    for gpu in ("A100", "H200", "B200"):
+        dev = Device(gpu)
+        for c in workload.cases():
+            tc = dev.resolve(workload.analytic_stats(Variant.TC, c))
+            line = [gpu, c.label, format_seconds(tc.time_s),
+                    f"{tc.tflops:.2f} TFLOP/s" if tc.flops else "-"]
+            if Variant.BASELINE in workload.variants():
+                base = dev.resolve(
+                    workload.analytic_stats(Variant.BASELINE, c))
+                line.append(f"{base.time_s / tc.time_s:.2f}x")
+            else:
+                line.append("-")
+            rows.append(line)
+    print()
+    print(format_table(
+        ["GPU", "Case", "TC time", "TC perf", "TC/baseline"],
+        rows, title="Paper-scale model (Figure 3/4 view)"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gemm")

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Legacy shim: this environment's setuptools predates PEP 660 editable
+# installs, so `pip install -e .` goes through setup.py develop.
+setup()

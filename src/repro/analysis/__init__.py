@@ -1,0 +1,98 @@
+"""Characterization analyses: quadrants, accuracy, roofline, EDP, PCA,
+feature extraction, and dwarf coverage (Sections 4 and 7-10)."""
+
+from .accuracy import ErrorEntry, accuracy_table, error_metrics
+from .dwarfs import (
+    DWARF_ORDER,
+    FEATURE_ORDER,
+    RODINIA,
+    SHOC,
+    SuiteCoverage,
+    coverage_table,
+    cubie_coverage,
+)
+from .edp import EdpEntry, edp_study, power_trace_study, quadrant_geomeans
+from .features import (
+    GRAPH_FEATURE_NAMES,
+    MATRIX_FEATURE_NAMES,
+    graph_features,
+    matrix_features,
+)
+from .mixed_precision import (
+    RefinementResult,
+    blocked_cholesky,
+    iterative_refinement,
+    modeled_factorization_time,
+    solve_cholesky,
+)
+from .observations import ObservationResult, verify_all
+from .ozaki import (
+    OzakiReport,
+    compare_schemes,
+    modeled_ozaki_time,
+    ozaki_gemm,
+    split_fp64,
+)
+from .pca import PcaResult, coverage_stats, pca, standardize
+from .representativeness import CaseProfile, Regime, classify_case, workload_regimes
+from .quadrants import (
+    FULL_THRESHOLD,
+    UtilizationProfile,
+    classify,
+    classify_suite,
+)
+from .roofline import Roofline, RooflinePoint, suite_roofline, workload_point
+from .suitability import KernelSketch, Prediction, Verdict, predict
+
+__all__ = [
+    "ErrorEntry",
+    "accuracy_table",
+    "error_metrics",
+    "DWARF_ORDER",
+    "FEATURE_ORDER",
+    "RODINIA",
+    "SHOC",
+    "SuiteCoverage",
+    "coverage_table",
+    "cubie_coverage",
+    "EdpEntry",
+    "edp_study",
+    "power_trace_study",
+    "quadrant_geomeans",
+    "GRAPH_FEATURE_NAMES",
+    "MATRIX_FEATURE_NAMES",
+    "graph_features",
+    "matrix_features",
+    "RefinementResult",
+    "blocked_cholesky",
+    "iterative_refinement",
+    "modeled_factorization_time",
+    "solve_cholesky",
+    "ObservationResult",
+    "verify_all",
+    "OzakiReport",
+    "compare_schemes",
+    "modeled_ozaki_time",
+    "ozaki_gemm",
+    "split_fp64",
+    "PcaResult",
+    "coverage_stats",
+    "pca",
+    "standardize",
+    "CaseProfile",
+    "Regime",
+    "classify_case",
+    "workload_regimes",
+    "FULL_THRESHOLD",
+    "UtilizationProfile",
+    "classify",
+    "classify_suite",
+    "Roofline",
+    "RooflinePoint",
+    "suite_roofline",
+    "workload_point",
+    "KernelSketch",
+    "Prediction",
+    "Verdict",
+    "predict",
+]

@@ -1,0 +1,83 @@
+"""FP64 accuracy study (Section 8, Table 6).
+
+For each floating-point workload, every variant executes functionally at a
+feasible scale and its output is compared against the workload's CPU-serial
+reference, reporting
+
+    Average_Error = (1/n) sum |result_gpu,i - result_cpu,i|
+    Max_Error     = max    |result_gpu,i - result_cpu,i|
+
+exactly as the paper defines them.  BFS is excluded (no floating-point
+math).  The structural findings the study must reproduce: TC and CC give
+*identical* errors (same data structures, algorithms, and — in this
+simulation, by construction — accumulation order), while CC-E and the
+baselines round differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..kernels.base import Workload
+
+
+__all__ = ["ErrorEntry", "error_metrics", "accuracy_table"]
+
+
+@dataclass(frozen=True)
+class ErrorEntry:
+    """One (workload, variant) cell of Table 6."""
+
+    workload: str
+    variant: str
+    avg_error: float
+    max_error: float
+    samples: int
+
+
+def _flatten(output) -> np.ndarray:
+    """Outputs may be arrays, complex arrays, or CSR matrices."""
+    if hasattr(output, "to_dense"):
+        return output.to_dense().ravel()
+    arr = np.asarray(output)
+    if np.iscomplexobj(arr):
+        return np.concatenate([arr.real.ravel(), arr.imag.ravel()])
+    return arr.astype(np.float64, copy=False).ravel()
+
+
+def error_metrics(output, reference) -> tuple[float, float, int]:
+    """(average, maximum, sample count) of absolute elementwise error."""
+    got = _flatten(output)
+    ref = _flatten(reference)
+    if got.shape != ref.shape:
+        raise ValueError(
+            f"output shape {got.shape} != reference shape {ref.shape}")
+    err = np.abs(got - ref)
+    return float(err.mean()), float(err.max()), int(err.size)
+
+
+def accuracy_table(workload: Workload, device: Device,
+                   seed: int = 1325) -> list[ErrorEntry]:
+    """Table 6 rows for one workload on one device.
+
+    TC and CC are evaluated separately (and a caller can verify they
+    coincide) rather than assumed equal.
+    """
+    if not workload.floating_point:
+        raise ValueError(
+            f"{workload.name} performs no floating-point computation "
+            "(the paper excludes it from Table 6)")
+    case = workload.exec_case(workload.representative_case())
+    data = workload.prepare(case, seed=seed)
+    reference = workload.reference(data)
+    entries = []
+    for variant in workload.variants():
+        result = workload.execute(variant, data, device)
+        avg, mx, n = error_metrics(result.output, reference)
+        entries.append(ErrorEntry(workload=workload.name,
+                                  variant=variant.value,
+                                  avg_error=avg, max_error=mx, samples=n))
+    return entries

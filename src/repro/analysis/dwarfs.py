@@ -1,0 +1,91 @@
+"""Berkeley-dwarf coverage comparison (Section 10, Table 7).
+
+Cubie's dwarf counts are *derived* from the registered workloads' ``dwarf``
+attributes; Rodinia's and SHOC's rows reproduce the paper's static
+classification of those suites.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..kernels.base import Workload
+
+__all__ = ["SuiteCoverage", "cubie_coverage", "RODINIA", "SHOC",
+           "coverage_table", "DWARF_ORDER", "FEATURE_ORDER"]
+
+DWARF_ORDER = (
+    "Dense linear algebra",
+    "Sparse linear algebra",
+    "Spectral methods",
+    "N-Body",
+    "Structured grids",
+    "Unstructured grids",
+    "MapReduce",
+    "Graph traversal",
+    "Dynamic programming",
+)
+
+FEATURE_ORDER = (
+    "Parallelization pattern",
+    "Performance",
+    "Power and energy",
+    "Precision",
+    "Memory bandwidth",
+    "CPU-GPU data transfer",
+)
+
+
+@dataclass(frozen=True)
+class SuiteCoverage:
+    """Dwarf counts and evaluated features for one benchmark suite."""
+
+    name: str
+    dwarf_counts: dict[str, int]
+    features: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def dwarfs_covered(self) -> int:
+        return sum(1 for v in self.dwarf_counts.values() if v > 0)
+
+    @property
+    def features_evaluated(self) -> int:
+        return len(self.features)
+
+
+#: Rodinia's classification per Table 7
+RODINIA = SuiteCoverage(
+    name="Rodinia",
+    dwarf_counts={"Dense linear algebra": 3, "Structured grids": 4,
+                  "Unstructured grids": 2, "Graph traversal": 2,
+                  "Dynamic programming": 1},
+    features=frozenset({"Parallelization pattern", "Performance",
+                        "Power and energy", "CPU-GPU data transfer"}),
+)
+
+#: SHOC's classification per Table 7
+SHOC = SuiteCoverage(
+    name="SHOC",
+    dwarf_counts={"Dense linear algebra": 2, "Spectral methods": 1,
+                  "N-Body": 1, "Structured grids": 1, "MapReduce": 3},
+    features=frozenset({"Performance", "Power and energy",
+                        "Memory bandwidth", "CPU-GPU data transfer"}),
+)
+
+#: the features this reproduction of Cubie evaluates (Table 7's column)
+CUBIE_FEATURES = frozenset({"Parallelization pattern", "Performance",
+                            "Power and energy", "Precision",
+                            "Memory bandwidth"})
+
+
+def cubie_coverage(workloads: list[Workload]) -> SuiteCoverage:
+    """Derive Cubie's Table 7 row from the registered workloads."""
+    counts = Counter(w.dwarf for w in workloads)
+    return SuiteCoverage(name="Cubie", dwarf_counts=dict(counts),
+                         features=CUBIE_FEATURES)
+
+
+def coverage_table(workloads: list[Workload]) -> list[SuiteCoverage]:
+    """All three suites in Table 7 order."""
+    return [RODINIA, SHOC, cubie_coverage(workloads)]

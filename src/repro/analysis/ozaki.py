@@ -1,0 +1,146 @@
+"""Ozaki-scheme FP64 GEMM on low-precision MMAs.
+
+The paper cites Ootomo, Ozaki & Yokota's "DGEMM on integer matrix
+multiplication unit" [74] as the escape hatch from the Blackwell FP64
+regression: split each FP64 operand into a short sum of limited-mantissa
+slices, compute all slice-pair products *exactly* on fast low-precision
+MMAs, and recover the FP64 result as an exactly-representable sum.  This
+module implements the error-free-splitting variant on the emulated
+FP16-input/FP32-accumulate MMA path, so the accuracy-vs-slices trade-off
+and the modeled B200 economics can both be measured.
+
+Splitting: with operands pre-scaled per row/column to unit magnitude,
+slice ``i`` of a value keeps mantissa bits ``[i*β, (i+1)*β)``.  β must
+satisfy the error-free bound ``2β + ceil(log2 k) <= 24`` so that every
+k-length inner product of two slices accumulates *exactly* in the FP32
+accumulator; :func:`ozaki_gemm` derives β from k automatically (β = 9 for
+k = 64, β = 8 for k <= 256, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..gpu.isa import Precision
+from ..gpu.mma_mixed import mma_mixed_batched
+from ..kernels.base import TC_EFF
+
+__all__ = ["split_fp64", "ozaki_gemm", "OzakiReport", "compare_schemes",
+           "modeled_ozaki_time", "SLICE_BITS", "slice_bits_for"]
+
+#: default mantissa bits per slice for k <= 64 (see the exactness bound)
+SLICE_BITS = 9
+
+
+def slice_bits_for(k: int) -> int:
+    """Largest slice width keeping slice-pair inner products exact in the
+    FP32 accumulator: ``2 beta + ceil(log2 k) <= 24``."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    log_k = int(np.ceil(np.log2(max(k, 2))))
+    return max((24 - log_k) // 2, 4)
+
+
+def split_fp64(x: np.ndarray, n_slices: int,
+               slice_bits: int = SLICE_BITS
+               ) -> tuple[list[np.ndarray], np.ndarray]:
+    """Error-free row-wise splitting of a matrix into mantissa slices.
+
+    Returns ``(slices, scale)``: slice ``i`` is *normalized* — an exact
+    ``slice_bits``-bit value of magnitude <= 1 (so it can never underflow
+    the FP16 exponent range) — and the true decomposition is
+
+        x = scale * sum_i slices[i] * 2**(-slice_bits * i)
+
+    which is exact once ``n_slices * slice_bits`` covers the mantissa.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if n_slices < 1:
+        raise ValueError("need at least one slice")
+    # per-row power-of-two scale so |x/scale| < 1
+    max_abs = np.abs(x).max(axis=-1, keepdims=True)
+    max_abs = np.where(max_abs <= 0, 1.0, max_abs)
+    scale = 2.0 ** np.ceil(np.log2(max_abs))
+    rem = x / scale
+    slices = []
+    for i in range(n_slices):
+        unit = 2.0 ** (-slice_bits * (i + 1))  # value of one mantissa chunk
+        chunk = np.round(rem / unit)           # integer, |chunk| <= 2^bits
+        slices.append(chunk * 2.0 ** (-slice_bits))   # normalized slice
+        rem = rem - chunk * unit
+    return slices, scale
+
+
+def ozaki_gemm(a: np.ndarray, b: np.ndarray, n_slices: int = 3,
+               precision: Precision = Precision.FP16) -> np.ndarray:
+    """C = A @ B via slice-pair products on the low-precision MMA path.
+
+    Slice pairs whose combined significance falls below the kept range
+    are skipped, as in the published scheme: ``i + j < n_slices`` pairs
+    only, giving ``n_slices (n_slices + 1) / 2`` MMA sweeps.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("need 2-D operands with matching inner dim")
+    beta = slice_bits_for(a.shape[1])
+    a_slices, a_scale = split_fp64(a, n_slices, beta)           # rows of A
+    b_slices, b_scale = split_fp64(b.T, n_slices, beta)         # cols of B
+    b_slices = [s.T.copy() for s in b_slices]
+    c = np.zeros((a.shape[0], b.shape[1]))
+    for i in range(n_slices):
+        for j in range(n_slices - i):
+            part = mma_mixed_batched(a_slices[i][np.newaxis],
+                                     b_slices[j][np.newaxis],
+                                     precision=precision)[0]
+            # undo the slices' normalization, sum parts in FP64
+            c = c + part * 2.0 ** (-beta * (i + j))
+    return c * a_scale * b_scale.T
+
+
+@dataclass(frozen=True)
+class OzakiReport:
+    """Accuracy of one scheme at one slice count."""
+
+    n_slices: int
+    max_error: float
+    mma_sweeps: int
+
+
+def compare_schemes(n: int = 64, max_slices: int = 5,
+                    seed: int = 7) -> tuple[float, float, list[OzakiReport]]:
+    """(plain FP16 error, FP64-chain error, per-slice-count Ozaki errors)
+    for one random GEMM — the data behind the accuracy trade-off plot."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-2, 2, (n, n))
+    b = rng.uniform(-2, 2, (n, n))
+    exact = a @ b
+    fp16 = mma_mixed_batched(a[np.newaxis], b[np.newaxis],
+                             precision=Precision.FP16)[0]
+    fp16_err = float(np.abs(fp16 - exact).max())
+    from ..gpu.mma import mma_fp64_batched
+    fp64 = mma_fp64_batched(a[np.newaxis], b[np.newaxis])[0]
+    fp64_err = float(np.abs(fp64 - exact).max())
+    reports = []
+    for s in range(1, max_slices + 1):
+        got = ozaki_gemm(a, b, n_slices=s)
+        reports.append(OzakiReport(
+            n_slices=s,
+            max_error=float(np.abs(got - exact).max()),
+            mma_sweeps=s * (s + 1) // 2))
+    return fp16_err, fp64_err, reports
+
+
+def modeled_ozaki_time(n: int, device: Device, n_slices: int = 3) -> float:
+    """Modeled n^3 GEMM time via the Ozaki scheme: each slice-pair sweep
+    is a full GEMM on the FP16 tensor peak, plus the FP64 part summation
+    (n^2 per sweep) on the vector units."""
+    spec = device.spec
+    sweeps = n_slices * (n_slices + 1) // 2
+    t_mma = sweeps * 2.0 * n ** 3 / (spec.tc_fp16 * TC_EFF)
+    t_sum = sweeps * 2.0 * n * n / (spec.cc_fp64 * 0.5)
+    t_mem = (sweeps + 2.0) * 8.0 * n * n * 3 / spec.dram_bw
+    return max(t_mma, t_mem) + t_sum + spec.launch_overhead_s

@@ -1,0 +1,74 @@
+"""Quadrant categorization of MMU utilization patterns (Section 4, Fig. 2).
+
+The paper classifies workloads along two axes — input-matrix utilization
+and output-matrix utilization, each *full* or *partial* — yielding four
+quadrants.  Here the classification is **measured**, not asserted: each
+workload's TC variant is evaluated and the fragment-utilization counters
+decide the quadrant.  A test then confirms the measured quadrants equal the
+paper's Figure 2 assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels.base import Quadrant, Variant, Workload
+
+__all__ = ["UtilizationProfile", "classify", "classify_suite",
+           "FULL_THRESHOLD"]
+
+#: utilization at or above this fraction counts as "full"
+FULL_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class UtilizationProfile:
+    """Measured MMA input/output utilization for one workload."""
+
+    workload: str
+    input_utilization: float
+    output_utilization: float
+    quadrant: Quadrant
+
+    @property
+    def input_full(self) -> bool:
+        return self.input_utilization >= FULL_THRESHOLD
+
+    @property
+    def output_full(self) -> bool:
+        return self.output_utilization >= FULL_THRESHOLD
+
+
+def _quadrant_of(input_full: bool, output_full: bool) -> Quadrant:
+    if input_full and output_full:
+        return Quadrant.I
+    if not input_full and output_full:
+        return Quadrant.II
+    if not input_full and not output_full:
+        return Quadrant.III
+    return Quadrant.IV
+
+
+def classify(workload: Workload) -> UtilizationProfile:
+    """Measure a workload's MMA utilization and place it in a quadrant."""
+    case = workload.representative_case()
+    stats = workload.analytic_stats(Variant.TC, case)
+    if stats.mma_input_total == 0:
+        raise ValueError(
+            f"workload {workload.name!r} issued no MMA instructions")
+    iu = stats.input_utilization
+    ou = stats.output_utilization
+    return UtilizationProfile(
+        workload=workload.name,
+        input_utilization=iu,
+        output_utilization=ou,
+        quadrant=_quadrant_of(iu >= FULL_THRESHOLD, ou >= FULL_THRESHOLD),
+    )
+
+
+def classify_suite(workloads: list[Workload]) -> dict[Quadrant, list[str]]:
+    """Group a suite into the four quadrants (the Figure 2 layout)."""
+    groups: dict[Quadrant, list[str]] = {q: [] for q in Quadrant}
+    for w in workloads:
+        groups[classify(w).quadrant].append(w.name)
+    return groups

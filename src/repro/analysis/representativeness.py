@@ -1,0 +1,66 @@
+"""Test-case representativeness analysis (Section 5.1).
+
+The paper claims each workload's five cases 'span small to large problem
+scales and cover the major GPU performance regimes'.  This module makes
+that claim checkable: every case is classified into a *regime* by which
+resource the timing model says dominates and by how much headroom the
+launch overhead leaves, and the suite-level summary shows which regimes
+each workload's case set touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..gpu.device import Device
+from ..kernels.base import Variant, Workload
+
+__all__ = ["Regime", "CaseProfile", "classify_case", "workload_regimes"]
+
+
+class Regime(str, Enum):
+    """Which part of the machine a case actually exercises."""
+
+    LATENCY = "latency-bound"       # launch/stage overhead dominates
+    MEMORY = "memory-bound"         # DRAM or L1 limited
+    COMPUTE = "compute-bound"       # tensor/FMA pipe limited
+
+
+@dataclass(frozen=True)
+class CaseProfile:
+    """Classification of one (workload, case) pair."""
+
+    workload: str
+    case: str
+    regime: Regime
+    bottleneck: str
+    #: fraction of the modeled time spent on fixed overheads
+    overhead_fraction: float
+    time_s: float
+
+
+def classify_case(workload: Workload, case, device: Device,
+                  variant: Variant = Variant.TC,
+                  latency_threshold: float = 0.33) -> CaseProfile:
+    """Classify a case by its dominating resource on a device."""
+    stats = workload.analytic_stats(variant, case)
+    breakdown = device.timing.breakdown(stats)
+    total = breakdown.total_s
+    overhead = (breakdown.launch_s + breakdown.stage_s) / total
+    if overhead >= latency_threshold:
+        regime = Regime.LATENCY
+    elif breakdown.bottleneck in ("dram", "l1"):
+        regime = Regime.MEMORY
+    else:
+        regime = Regime.COMPUTE
+    return CaseProfile(workload=workload.name, case=case.label,
+                       regime=regime, bottleneck=breakdown.bottleneck,
+                       overhead_fraction=overhead, time_s=total)
+
+
+def workload_regimes(workload: Workload, device: Device,
+                     variant: Variant = Variant.TC) -> list[CaseProfile]:
+    """Classify all five Table 2 cases of a workload."""
+    return [classify_case(workload, case, device, variant)
+            for case in workload.cases()]

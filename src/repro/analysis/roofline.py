@@ -1,0 +1,98 @@
+"""Cache-aware roofline model (Section 9, Figure 9).
+
+The model plots achieved performance against arithmetic intensity under
+four ceilings: FP64 tensor-core peak, FP64 CUDA-core peak, DRAM bandwidth,
+and L1 bandwidth (computed with the paper's formula
+``BW_L1 = N_SM x N_LSU x W_access x f_clock``).  Points come from the
+workloads' modeled executions; BFS is excluded (bit-wise operations, as in
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import Device
+from ..gpu.specs import GPUSpec
+from ..kernels.base import Variant, Workload
+
+__all__ = ["RooflinePoint", "Roofline", "suite_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (workload, variant) point of Figure 9."""
+
+    workload: str
+    variant: str
+    #: flops per DRAM byte
+    intensity: float
+    #: achieved useful flops/s (essential flops over modeled time)
+    performance: float
+    #: which resource the timing model says limits this point
+    bottleneck: str
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Ceilings plus measured points for one device."""
+
+    spec: GPUSpec
+    points: list[RooflinePoint]
+
+    @property
+    def tc_ceiling(self) -> float:
+        return self.spec.tc_fp64
+
+    @property
+    def cc_ceiling(self) -> float:
+        return self.spec.cc_fp64
+
+    def dram_roof(self, intensity: float) -> float:
+        """Performance bound from DRAM bandwidth at a given intensity."""
+        return self.spec.dram_bw * intensity
+
+    def l1_roof(self, intensity: float) -> float:
+        return self.spec.l1_bw * intensity
+
+    def attainable(self, intensity: float, unit: str = "tc") -> float:
+        """min(compute ceiling, DRAM roof) — the classic roofline."""
+        peak = self.tc_ceiling if unit == "tc" else self.cc_ceiling
+        return min(peak, self.dram_roof(intensity))
+
+    def ridge_point(self, unit: str = "tc") -> float:
+        """Intensity where the DRAM roof meets the compute ceiling."""
+        peak = self.tc_ceiling if unit == "tc" else self.cc_ceiling
+        return peak / self.spec.dram_bw
+
+    def points_above_dram_roof(self) -> list[RooflinePoint]:
+        """Cache-resident kernels exceed the DRAM ceiling (the paper's
+        observation for Scan/Reduction)."""
+        return [p for p in self.points
+                if p.performance > self.dram_roof(p.intensity) * 0.999]
+
+
+def workload_point(workload: Workload, variant: Variant,
+                   device: Device) -> RooflinePoint:
+    """Evaluate one workload variant into a roofline point."""
+    case = workload.representative_case()
+    stats = workload.analytic_stats(variant, case)
+    result = device.resolve(stats)
+    return RooflinePoint(
+        workload=workload.name,
+        variant=variant.value,
+        intensity=stats.arithmetic_intensity("dram"),
+        performance=result.flops,
+        bottleneck=result.breakdown.bottleneck,
+    )
+
+
+def suite_roofline(workloads: list[Workload], device: Device) -> Roofline:
+    """Figure 9: all floating-point workloads and variants on one device."""
+    points = []
+    for w in workloads:
+        if not w.floating_point:
+            continue  # the paper excludes BFS from the roofline
+        for v in w.variants():
+            points.append(workload_point(w, v, device))
+    return Roofline(spec=device.spec, points=points)

@@ -1,0 +1,154 @@
+"""Algorithm-level MMU-suitability prediction.
+
+Section 4 of the paper closes with its open question: *can MMU
+accelerability be inferred from the original algorithm, before the MMU
+transformation is written?*  This module is the "first step toward
+algorithm-level reasoning" the paper calls for: a kernel is described by a
+small :class:`KernelSketch` — quantities readable off the untransformed
+algorithm — and the same roofline machinery that times the real workloads
+predicts the TC-vs-vector outcome.
+
+A test validates the predictor against all ten Cubie workloads: sketches
+derived from each workload's pre-transformation properties predict the
+measured TC speedup within a factor of two, and the qualitative verdict
+(beneficial / marginal / counterproductive) matches the paper's Figure 4
+for every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..gpu.counters import KernelStats
+from ..gpu.specs import GPUSpec
+from ..gpu.timing import TimingModel
+from ..kernels.base import (
+    CC_EFF,
+    MLP_IRREGULAR,
+    TC_EFF,
+    TC_EFF_CONST,
+)
+
+__all__ = ["KernelSketch", "Verdict", "Prediction", "predict"]
+
+
+class Verdict(str, Enum):
+    """Qualitative recommendation."""
+
+    STRONG = "strongly beneficial"      # expect > 1.8x
+    BENEFICIAL = "beneficial"           # 1.15x - 1.8x
+    MARGINAL = "marginal"               # 0.9x - 1.15x
+    COUNTERPRODUCTIVE = "counterproductive"  # < 0.9x
+
+
+@dataclass(frozen=True)
+class KernelSketch:
+    """Algorithm-level description of a kernel, pre-MMU-transformation.
+
+    All quantities are readable off the original (vector) algorithm:
+
+    * ``essential_flops`` / ``bytes_moved`` — the work and traffic of one
+      execution (arithmetic intensity follows);
+    * ``mma_redundancy`` — executed/essential flop ratio once the kernel
+      is forced into full MMA tiles (e.g. 8 for a dot-product kernel that
+      only uses the output diagonal, ~1 for GEMM-like kernels);
+    * ``constant_operand`` — whether one MMA operand would be a compile-
+      time constant (scan/reduction matrices of ones): such operands are
+      never loaded and boost sustained MMA issue;
+    * ``layout_traffic_factor`` — bytes the MMU data layout moves relative
+      to the vector layout (<1 when blocking regularizes gathers, >1 when
+      extra layout passes appear, e.g. FFT's block transposes);
+    * ``scattered_byte_fraction`` — share of the vector implementation's
+      traffic that is scattered sub-sector gathers (CSR SpMV's x lookups,
+      push BFS's status probes); beyond ~20%% it also costs memory-level
+      parallelism through load imbalance;
+    * ``serial_fraction`` — fraction of the vector algorithm's time spent
+      in dependent stages an MMU version would collapse (tree reductions).
+    """
+
+    name: str
+    essential_flops: float
+    bytes_moved: float
+    mma_redundancy: float = 1.0
+    constant_operand: bool = False
+    layout_traffic_factor: float = 1.0
+    scattered_byte_fraction: float = 0.0
+    serial_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.essential_flops < 0 or self.bytes_moved <= 0:
+            raise ValueError("need non-negative flops and positive bytes")
+        if self.mma_redundancy < 1.0:
+            raise ValueError("mma_redundancy is executed/essential, >= 1")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if not 0.0 <= self.scattered_byte_fraction <= 1.0:
+            raise ValueError("scattered_byte_fraction must be in [0, 1]")
+
+    @property
+    def baseline_irregular(self) -> bool:
+        """Load imbalance sets in once scattered traffic is significant."""
+        return self.scattered_byte_fraction > 0.2
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.essential_flops / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted outcome of an MMU port."""
+
+    sketch: KernelSketch
+    gpu: str
+    tc_time_s: float
+    baseline_time_s: float
+    speedup: float
+    verdict: Verdict
+    #: which resource limits the predicted TC version
+    tc_bottleneck: str
+
+
+def _verdict(speedup: float) -> Verdict:
+    if speedup > 1.8:
+        return Verdict.STRONG
+    if speedup > 1.15:
+        return Verdict.BENEFICIAL
+    if speedup > 0.9:
+        return Verdict.MARGINAL
+    return Verdict.COUNTERPRODUCTIVE
+
+
+def predict(sketch: KernelSketch, spec: GPUSpec) -> Prediction:
+    """Predict the TC-vs-vector outcome of MMU-porting a kernel."""
+    timing = TimingModel(spec)
+
+    # hypothetical TC version: essential flops x redundancy on the tensor
+    # pipe, traffic scaled by the layout factor, full MLP (regular tiles)
+    tc = KernelStats()
+    tc.add_mma_fp64(sketch.essential_flops * sketch.mma_redundancy / 512.0)
+    tc.tc_efficiency = TC_EFF_CONST if sketch.constant_operand else TC_EFF
+    tc_bytes = sketch.bytes_moved * sketch.layout_traffic_factor
+    tc.read_dram(tc_bytes, segment_bytes=1 << 12)
+    tc_time = timing.time(tc)
+    tc_bottleneck = timing.breakdown(tc).bottleneck
+
+    # the existing vector version: essential flops on the FMA pipe;
+    # irregularity costs MLP, dependent stages inflate the critical path
+    base = KernelStats()
+    base.add_fma(sketch.essential_flops)
+    base.cc_efficiency = CC_EFF
+    if sketch.baseline_irregular:
+        base.mlp = MLP_IRREGULAR
+    scattered = sketch.bytes_moved * sketch.scattered_byte_fraction
+    if scattered:
+        base.read_dram(scattered, segment_bytes=8)
+    base.read_dram(sketch.bytes_moved - scattered, segment_bytes=1 << 12)
+    base_time = timing.time(base) / max(1.0 - sketch.serial_fraction, 1e-3)
+
+    speedup = base_time / tc_time
+    return Prediction(sketch=sketch, gpu=spec.name, tc_time_s=tc_time,
+                      baseline_time_s=base_time, speedup=speedup,
+                      verdict=_verdict(speedup),
+                      tc_bottleneck=tc_bottleneck)

@@ -1,0 +1,37 @@
+"""Application layer: the HPC codes the Cubie kernels serve.
+
+These are working miniature applications (not stubs) built entirely on the
+public API — a CG solver (SpMV + Reduction), an algebraic multigrid
+(SpGEMM + SpMV, the AmgT setting), a wave solver (Stencil), and a plasma
+pusher (PiC) — each with modeled device costs so the paper's
+application-researcher questions can be asked end to end.
+"""
+
+from .amg import (
+    AmgHierarchy,
+    AmgLevel,
+    build_hierarchy,
+    modeled_setup_cost,
+    modeled_vcycle_cost,
+    solve,
+    v_cycle,
+)
+from .cg import CgResult, conjugate_gradient, modeled_iteration_cost
+from .plasma import PlasmaSimulation
+from .wave import WaveSimulation, cfl_limit
+
+__all__ = [
+    "AmgHierarchy",
+    "AmgLevel",
+    "build_hierarchy",
+    "modeled_setup_cost",
+    "modeled_vcycle_cost",
+    "solve",
+    "v_cycle",
+    "CgResult",
+    "conjugate_gradient",
+    "modeled_iteration_cost",
+    "PlasmaSimulation",
+    "WaveSimulation",
+    "cfl_limit",
+]

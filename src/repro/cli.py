@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the artifact's shell scripts:
+
+* ``quicktest``  — the four-workload quick test (Appendix A.1.2)
+* ``full``       — the full ten-workload evaluation (Appendix A.3)
+* ``perf``       — Figures 3-6 for chosen workloads/GPUs
+* ``power``      — Figures 7-8
+* ``accuracy``   — Table 6
+* ``quadrants``  — Figure 2 classification
+* ``roofline``   — Figure 9 points
+* ``observations`` — the nine-observation audit
+* ``suitability``— the algorithm-level MMU predictor on a sketch
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.accuracy import accuracy_table
+from .analysis.quadrants import classify
+from .analysis.roofline import suite_roofline
+from .analysis.suitability import KernelSketch, predict
+from .gpu.device import Device
+from .gpu.specs import get_gpu
+from .harness.artifact import full_evaluation, quick_test
+from .harness.report import format_seconds, format_speedups, format_table
+from .harness.runner import run_performance, speedup_summary
+from .kernels import Variant, all_workloads, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def _select_workloads(names: list[str] | None):
+    if not names:
+        return all_workloads()
+    return [get_workload(n) for n in names]
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    workloads = _select_workloads(args.workload)
+    devices = [Device(g) for g in args.gpu]
+    records = run_performance(workloads=workloads, devices=devices)
+    print(format_speedups(
+        speedup_summary(records, Variant.TC, Variant.BASELINE),
+        "TC speedup over baseline (Figure 4)"))
+    print()
+    print(format_speedups(
+        speedup_summary(records, Variant.CC, Variant.TC),
+        "CC speedup over TC (Figure 5)"))
+    cce = speedup_summary(records, Variant.CCE, Variant.TC)
+    if cce:
+        print()
+        print(format_speedups(cce, "CC-E speedup over TC (Figure 6)"))
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    from .analysis.edp import edp_study
+    device = Device(args.gpu[0])
+    rows = []
+    for w in _select_workloads(args.workload):
+        for e in edp_study(w, device):
+            rows.append([e.workload, e.variant, f"{e.avg_power_w:.0f} W",
+                         f"{e.loop_time_s:.3f} s", f"{e.edp:.4g} J*s"])
+    print(format_table(
+        ["Workload", "Variant", "Avg power", "Loop", "EDP"], rows,
+        title=f"EDP on {device.spec.name} (Figure 7)"))
+    return 0
+
+
+def cmd_accuracy(args: argparse.Namespace) -> int:
+    device = Device(args.gpu[0])
+    rows = []
+    for w in _select_workloads(args.workload):
+        if not w.floating_point:
+            continue
+        for e in accuracy_table(w, device):
+            rows.append([e.workload, e.variant, f"{e.avg_error:.3E}",
+                         f"{e.max_error:.3E}"])
+    print(format_table(["Workload", "Variant", "Avg error", "Max error"],
+                       rows, title="FP64 errors vs CPU serial (Table 6)"))
+    return 0
+
+
+def cmd_quadrants(args: argparse.Namespace) -> int:
+    rows = []
+    for w in _select_workloads(args.workload):
+        p = classify(w)
+        rows.append([w.name, f"{p.input_utilization:.2f}",
+                     f"{p.output_utilization:.2f}", p.quadrant.value])
+    print(format_table(["Workload", "Input util", "Output util",
+                        "Quadrant"], rows,
+                       title="MMU utilization quadrants (Figure 2)"))
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    device = Device(args.gpu[0])
+    roof = suite_roofline(_select_workloads(args.workload), device)
+    rows = [[p.workload, p.variant, f"{p.intensity:.3g}",
+             f"{p.performance / 1e12:.4g}", p.bottleneck]
+            for p in roof.points]
+    print(format_table(
+        ["Workload", "Variant", "AI", "TFLOP/s", "Bound by"], rows,
+        title=f"Roofline points on {device.spec.name} (Figure 9)"))
+    return 0
+
+
+def cmd_quicktest(args: argparse.Namespace) -> int:
+    written = quick_test(args.out, gpu=args.gpu[0])
+    for name, path in written.items():
+        print(f"{name}: {path}")
+    return 0
+
+
+def cmd_full(args: argparse.Namespace) -> int:
+    written = full_evaluation(args.out, gpu=args.gpu[0])
+    for name, path in written.items():
+        print(f"{name}: {path}")
+    return 0
+
+
+def cmd_observations(args: argparse.Namespace) -> int:
+    from .analysis.observations import verify_all
+    rows = []
+    for r in verify_all():
+        rows.append([f"O{r.number}", "holds" if r.holds else "FAILS",
+                     r.statement])
+    print(format_table(["Obs", "Verdict", "Statement"], rows,
+                       title="The nine key observations, verified live"))
+    return 0 if all("holds" in row[1] for row in rows) else 1
+
+
+def cmd_suitability(args: argparse.Namespace) -> int:
+    sketch = KernelSketch(
+        name=args.name,
+        essential_flops=args.flops,
+        bytes_moved=args.bytes,
+        mma_redundancy=args.redundancy,
+        constant_operand=args.constant_operand,
+        layout_traffic_factor=args.layout_factor,
+        scattered_byte_fraction=args.scattered_fraction,
+        serial_fraction=args.serial_fraction,
+    )
+    rows = []
+    for g in args.gpu:
+        p = predict(sketch, get_gpu(g))
+        rows.append([g, format_seconds(p.tc_time_s),
+                     format_seconds(p.baseline_time_s),
+                     f"{p.speedup:.2f}x", p.tc_bottleneck,
+                     p.verdict.value])
+    print(format_table(
+        ["GPU", "TC time", "Vector time", "Speedup", "TC bound by",
+         "Verdict"], rows,
+        title=f"MMU suitability of {sketch.name!r} "
+              f"(AI {sketch.arithmetic_intensity:.2f} flop/B)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cubie reproduction: MMU characterization suite")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--gpu", nargs="+", default=["A100", "H200", "B200"],
+                       help="devices to evaluate (default: all three)")
+        p.add_argument("--workload", nargs="*", default=None,
+                       help="workloads (default: the whole suite)")
+
+    for name, fn, desc in (
+            ("perf", cmd_perf, "Figures 3-6 speedup summaries"),
+            ("power", cmd_power, "Figure 7 EDP study"),
+            ("accuracy", cmd_accuracy, "Table 6 FP64 errors"),
+            ("quadrants", cmd_quadrants, "Figure 2 classification"),
+            ("roofline", cmd_roofline, "Figure 9 points")):
+        p = sub.add_parser(name, help=desc)
+        add_common(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("observations",
+                       help="verify the paper's nine observations")
+    p.set_defaults(fn=cmd_observations)
+
+    for name, fn, desc in (
+            ("quicktest", cmd_quicktest,
+             "artifact quick test (SpMV, Reduction, Scan, FFT)"),
+            ("full", cmd_full, "artifact full evaluation")):
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--out", default=f"artifact_{name}",
+                       help="output directory")
+        p.add_argument("--gpu", nargs="+", default=["H200"])
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("suitability",
+                       help="predict MMU benefit from an algorithm sketch")
+    p.add_argument("--name", default="custom-kernel")
+    p.add_argument("--flops", type=float, required=True,
+                   help="essential flops per execution")
+    p.add_argument("--bytes", type=float, required=True,
+                   help="bytes moved per execution")
+    p.add_argument("--redundancy", type=float, default=1.0,
+                   help="executed/essential flops when MMA-shaped")
+    p.add_argument("--constant-operand", action="store_true")
+    p.add_argument("--layout-factor", type=float, default=1.0)
+    p.add_argument("--scattered-fraction", type=float, default=0.0,
+                   help="fraction of vector traffic that is scattered "
+                        "sub-sector gathers")
+    p.add_argument("--serial-fraction", type=float, default=0.0)
+    p.add_argument("--gpu", nargs="+", default=["A100", "H200", "B200"])
+    p.set_defaults(fn=cmd_suitability)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

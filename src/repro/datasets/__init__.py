@@ -1,0 +1,38 @@
+"""Deterministic input generation: LINPACK-style LCG randomness, synthetic
+SuiteSparse stand-ins (Tables 3-4), and population sweeps (Figure 10)."""
+
+from .graphs import (
+    BFS_GRAPHS,
+    GraphInfo,
+    generate_graph,
+    graph_info,
+    graph_to_csr,
+    kronecker_edges,
+    mycielskian,
+)
+from .populations import graph_population, matrix_population
+from .suitesparse import (
+    SPMV_MATRICES,
+    MatrixInfo,
+    generate_matrix,
+    matrix_info,
+)
+from .synthetic import Lcg, default_rng
+
+__all__ = [
+    "BFS_GRAPHS",
+    "GraphInfo",
+    "generate_graph",
+    "graph_info",
+    "graph_to_csr",
+    "kronecker_edges",
+    "mycielskian",
+    "graph_population",
+    "matrix_population",
+    "SPMV_MATRICES",
+    "MatrixInfo",
+    "generate_matrix",
+    "matrix_info",
+    "Lcg",
+    "default_rng",
+]

@@ -1,0 +1,245 @@
+"""Synthetic stand-ins for the SuiteSparse graphs of Table 3.
+
+The five BFS graphs (wikipedia-20070206, mycielskian17, wb-edu,
+kron_g500-logn21, com-Orkut) total half a billion edges — far beyond what a
+Python frontier simulation can traverse.  Each is replaced by a structurally
+faithful generator at a reduced scale (recorded in ``GraphInfo.scale_note``):
+
+* the Mycielskian and Kronecker graphs use the *exact published recursions*
+  (Mycielski's construction; the Graph500 R-MAT sampler) at smaller orders;
+* the web graphs (wikipedia, wb-edu) use a copying/preferential-attachment
+  model producing the heavy-tailed in-degree distribution BFS frontiers see;
+* com-Orkut uses an undirected preferential-attachment community model.
+
+What BFS performance depends on — frontier growth profile, degree skew,
+diameter regime — is preserved; absolute traversal rates are not the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from .synthetic import Lcg
+
+__all__ = [
+    "GraphInfo",
+    "BFS_GRAPHS",
+    "generate_graph",
+    "graph_info",
+    "mycielskian",
+    "kronecker_edges",
+]
+
+
+@dataclass(frozen=True)
+class GraphInfo:
+    """Catalog entry mirroring one row of Table 3 (original sizes), plus the
+    scaled size this reproduction generates."""
+
+    name: str
+    vertices: int
+    edges: int
+    group: str
+    family: str
+    gen_vertices: int
+    gen_edges: int
+    scale_note: str
+
+
+BFS_GRAPHS: tuple[GraphInfo, ...] = (
+    GraphInfo("wikipedia-20070206", 3_566_907, 90_043_704, "Gleich",
+              "web-copying", 16_000, 400_000,
+              "copying model, scaled to preserve the ~25 avg degree"),
+    GraphInfo("mycielskian17", 98_303, 100_245_742, "Mycielski",
+              "mycielskian", 3_071, 407_200,
+              "exact Mycielskian recursion, order 12 instead of 17"),
+    GraphInfo("wb-edu", 9_845_725, 112_468_163, "SNAP",
+              "web-copying", 42_000, 480_000,
+              "copying model, scaled to preserve the ~11 avg degree"),
+    GraphInfo("kron_g500-logn21", 2_097_152, 182_082_942, "DIMACS10",
+              "kronecker", 8_192, 524_288,
+              "Graph500 R-MAT at scale 13, edge factor 64 (preserves the"
+              " ~87 avg degree)"),
+    GraphInfo("com-Orkut", 3_072_441, 234_370_166, "SNAP",
+              "social-pa", 8_000, 600_000,
+              "preferential attachment, scaled to preserve the ~76 avg"
+              " degree"),
+)
+
+_BY_NAME = {g.name: g for g in BFS_GRAPHS}
+
+
+def graph_info(name: str) -> GraphInfo:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+def mycielskian(order: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Edges of the Mycielskian graph M_order (M2 = K2), as undirected
+    (src, dst) arrays with both directions included, plus vertex count.
+
+    Mycielski's construction: given G = (V, E) with |V| = n, add shadow
+    vertices u_i (u_i ~ neighbors of v_i) and an apex w adjacent to all u_i.
+    """
+    if order < 2:
+        raise ValueError("order must be >= 2")
+    # M2 = K2
+    src = np.array([0, 1], dtype=np.int64)
+    dst = np.array([1, 0], dtype=np.int64)
+    n = 2
+    for _ in range(order - 2):
+        # shadow edges: v_i - u_j for every original edge v_i - v_j
+        shadow_src = np.concatenate([src, dst + n])
+        shadow_dst = np.concatenate([dst + n, src])
+        apex = 2 * n
+        apex_src = np.concatenate([np.arange(n, 2 * n, dtype=np.int64),
+                                   np.full(n, apex, dtype=np.int64)])
+        apex_dst = np.concatenate([np.full(n, apex, dtype=np.int64),
+                                   np.arange(n, 2 * n, dtype=np.int64)])
+        src = np.concatenate([src, shadow_src, apex_src])
+        dst = np.concatenate([dst, shadow_dst, apex_dst])
+        n = 2 * n + 1
+    return src, dst, n
+
+
+def kronecker_edges(scale: int, edge_factor: int, rng: Lcg,
+                    a: float = 0.57, b: float = 0.19, c: float = 0.19,
+                    permute: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Graph500 R-MAT Kronecker edge sampler at ``2**scale`` vertices.
+
+    ``permute=False`` keeps the raw recursive labels (endpoints then
+    concentrate at low vertex ids, as in an unshuffled crawl)."""
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    for bit in range(scale):
+        u1 = rng.uniform(m, 0.0, 1.0)
+        u2 = rng.uniform(m, 0.0, 1.0)
+        src_bit = u1 > ab
+        dst_bit = np.where(src_bit, u2 > c_norm, u2 > a / ab)
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+    if not permute:
+        return src, dst, n
+    # permute vertex labels so degree is not correlated with id
+    perm = rng.permutation(n)
+    return perm[src], perm[dst], n
+
+
+def _web_copying(n: int, m: int, rng: Lcg, copy_p: float = 0.7,
+                 host_size: int = 128, intra_p: float = 0.7,
+                 hub_frac: float = 0.08
+                 ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Web-graph model: copying (power-law in-degree) plus host locality.
+
+    Real web crawls are lexicographically ordered by URL, which clusters
+    most links inside a vertex-id neighborhood (the "host"); a hub core
+    (portals) links broadly, keeping the graph reachable.  Both properties
+    matter here: locality packs the 8x128 bit tiles densely, and the hub
+    core gives BFS a large reachable component.
+    """
+    n_hubs = max(n // 500, 16)
+    # hub edges: from the core to uniformly random targets
+    m_hub = int(m * hub_frac)
+    hub_src = rng.integers(m_hub, 0, n_hubs)
+    hub_dst = rng.integers(m_hub, 0, n)
+    # remaining edges: random sources; targets intra-host or copied
+    m_rest = m - m_hub
+    # intra-host links: source and target in the same URL neighborhood
+    m_intra = int(m_rest * intra_p)
+    intra_src = rng.integers(m_intra, 0, n)
+    within = rng.integers(m_intra, 0, host_size)
+    intra_dst = np.minimum((intra_src // host_size) * host_size + within,
+                           n - 1)
+    # far links: targets concentrate on a small popular set (the web's
+    # heavy-tailed in-degree), sources uniform; a slice of uniform targets
+    # keeps the tail connected
+    m_far = m_rest - m_intra
+    n_popular = max(min(n // 16, 512), 8)
+    # topical locality: most links into the popular set come from hub
+    # hosts (directories, portals) occupying the low id range
+    src_hubhost = rng.integers(m_far, 0, max(n // 8, 1))
+    src_any = rng.integers(m_far, 0, n)
+    far_src = np.where(rng.choice_mask(m_far, 0.6), src_hubhost, src_any)
+    popular = rng.integers(m_far, 0, n_popular)
+    uniform = rng.integers(m_far, 0, n)
+    far_dst = np.where(rng.choice_mask(m_far, 0.93), popular, uniform)
+    return (np.concatenate([hub_src, intra_src, far_src]),
+            np.concatenate([hub_dst, intra_dst, far_dst]), n)
+
+
+def _social_pa(n: int, m: int, rng: Lcg, community: int = 128,
+               intra_p: float = 0.75
+               ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Undirected preferential attachment with dense friend communities.
+
+    Social networks like Orkut are dominated by tightly-knit groups;
+    three quarters of each vertex's edges stay inside its ~128-member
+    community (which also packs the 8x128 bit tiles), the rest attach
+    preferentially to global hubs."""
+    half = m // 2
+    src = rng.integers(half, 0, n)
+    within = rng.integers(half, 0, community)
+    local = np.minimum((src // community) * community + within, n - 1)
+    # far links attach to a small set of global hubs (celebrity accounts),
+    # with a uniform tail to keep every community reachable
+    n_hubs = max(min(n // 16, 512), 8)
+    hubs = rng.integers(half, 0, n_hubs)
+    uniform = rng.integers(half, 0, n)
+    far = np.where(rng.choice_mask(half, 0.9), hubs, uniform)
+    dst = np.where(rng.choice_mask(half, intra_p), local, far)
+    return (np.concatenate([src, dst]),
+            np.concatenate([dst, src]), n)
+
+
+_CACHE: dict[tuple[str, int], tuple[np.ndarray, np.ndarray, int]] = {}
+
+
+def generate_graph(name: str, seed: int = 1325
+                   ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Generate the scaled synthetic stand-in for a Table 3 graph.
+
+    Returns directed (src, dst) edge arrays and the vertex count.  Self
+    loops are removed; duplicate edges are kept (BFS ignores them, and the
+    originals contain them too).
+    """
+    key = (name, int(seed))
+    if key in _CACHE:
+        return _CACHE[key]
+    info = graph_info(name)
+    name_tag = sum(ord(ch) * (i + 1) for i, ch in enumerate(name))
+    rng = Lcg(seed + name_tag % 100003)
+    if info.family == "mycielskian":
+        src, dst, n = mycielskian(12)
+    elif info.family == "kronecker":
+        src, dst, n = kronecker_edges(13, 64, rng)
+    elif info.family == "web-copying":
+        src, dst, n = _web_copying(info.gen_vertices, info.gen_edges, rng)
+    elif info.family == "social-pa":
+        src, dst, n = _social_pa(info.gen_vertices, info.gen_edges, rng)
+    else:  # pragma: no cover - catalog is static
+        raise ValueError(f"unknown family {info.family!r}")
+    keep = src != dst
+    result = (src[keep], dst[keep], n)
+    _CACHE[key] = result
+    return result
+
+
+def graph_to_csr(src: np.ndarray, dst: np.ndarray, n: int) -> CsrMatrix:
+    """Adjacency CSR with unit weights (duplicates collapsed)."""
+    vals = np.ones(len(src))
+    a = CsrMatrix.from_coo(src, dst, vals, (n, n))
+    a.data[:] = 1.0  # collapse duplicate-edge sums back to unit weight
+    return a

@@ -1,0 +1,74 @@
+"""Simulated GPU substrate: specs, MMA emulation, counters, and models.
+
+This package stands in for the physical A100/H200/B200 GPUs of the paper.
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from .counters import AccessStream, KernelStats
+from .isa import MMA_SHAPES, MmaShape, Precision, find_shape, shapes_for
+from .occupancy import (
+    DEFAULT_SM,
+    KernelResources,
+    Occupancy,
+    SmResources,
+    occupancy,
+)
+from .device import Device, KernelResult, all_devices
+from .memory import MemoryModel, MemoryTraffic
+from .mma_mixed import mma_mixed_batched, quantize, unit_roundoff
+from .mma import (
+    mma_b1_batched,
+    mma_fp64_batched,
+    mma_m8n8k4,
+    mma_m8n8k4_batched,
+    mma_m8n8k128_b1,
+    pack_bits_rows,
+    warp_gemm_m8n8k4,
+)
+from .power import PowerModel, PowerTrace, geomean_edp
+from .specs import A100, ALL_GPUS, B200, H200, GPUSpec, get_gpu
+from .timing import TimingBreakdown, TimingModel
+from .trace import Timeline, TimelineEvent
+
+__all__ = [
+    "AccessStream",
+    "KernelStats",
+    "MMA_SHAPES",
+    "MmaShape",
+    "Precision",
+    "find_shape",
+    "shapes_for",
+    "DEFAULT_SM",
+    "KernelResources",
+    "Occupancy",
+    "SmResources",
+    "occupancy",
+    "Device",
+    "KernelResult",
+    "all_devices",
+    "MemoryModel",
+    "MemoryTraffic",
+    "mma_mixed_batched",
+    "quantize",
+    "unit_roundoff",
+    "mma_b1_batched",
+    "mma_fp64_batched",
+    "mma_m8n8k4",
+    "mma_m8n8k4_batched",
+    "mma_m8n8k128_b1",
+    "pack_bits_rows",
+    "warp_gemm_m8n8k4",
+    "PowerModel",
+    "PowerTrace",
+    "geomean_edp",
+    "A100",
+    "ALL_GPUS",
+    "B200",
+    "H200",
+    "GPUSpec",
+    "get_gpu",
+    "TimingBreakdown",
+    "TimingModel",
+    "Timeline",
+    "TimelineEvent",
+]

@@ -1,0 +1,207 @@
+"""Hardware event counters collected during simulated kernel execution.
+
+:class:`KernelStats` plays the role NCU plays in the paper: it accumulates
+floating-point work per execution pipe (tensor vs FMA), instruction counts,
+and byte traffic per memory level.  Memory traffic is recorded as *access
+streams* — (total bytes, typical contiguous segment length) pairs — so the
+memory model in :mod:`repro.gpu.memory` can derive achieved bandwidth from
+coalescing behaviour rather than from a hand-tuned constant.
+
+The counters also record MMA operand/result *utilization* (how many of the
+8x4 / 4x8 / 8x8 fragment elements carry mathematically useful data), which is
+the quantitative basis of the paper's four-quadrant categorization (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccessStream", "KernelStats"]
+
+
+@dataclass(frozen=True)
+class AccessStream:
+    """One logical stream of memory accesses.
+
+    ``segment_bytes`` is the typical length of a contiguous run of bytes
+    touched together (e.g. 8 for scattered FP64 gathers, 32 for a DASP
+    4-element row slice, very large for streaming reads).
+    """
+
+    total_bytes: float
+    segment_bytes: float
+    kind: str = "read"  # "read" | "write"
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        if self.segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"kind must be 'read' or 'write', got {self.kind!r}")
+
+
+@dataclass
+class KernelStats:
+    """Event counters for one kernel execution on the simulated device."""
+
+    # --- compute ---------------------------------------------------------
+    #: FP64 flops executed on the tensor pipe (full MMA flops, incl. padding)
+    tc_flops: float = 0.0
+    #: FP64 flops executed on the FMA/vector pipe
+    cc_flops: float = 0.0
+    #: single-bit tensor ops (AND+POPC lanes of ``mma_m8n8k128``)
+    tc_b1_ops: float = 0.0
+    #: integer/bitwise vector ops (baseline BFS etc.)
+    cc_int_ops: float = 0.0
+    #: flops that are mathematically necessary for the result (no padding,
+    #: no replicated operands) — drives the redundancy analysis (Obs. 5)
+    essential_flops: float = 0.0
+
+    #: number of MMA instructions issued
+    mma_instructions: int = 0
+    #: number of scalar/vector FMA instructions issued
+    fma_instructions: int = 0
+
+    # --- memory ----------------------------------------------------------
+    dram: list[AccessStream] = field(default_factory=list)
+    #: bytes moved through the L1/shared-memory level
+    l1_bytes: float = 0.0
+    #: bytes staged through shared memory explicitly
+    smem_bytes: float = 0.0
+
+    # --- MMA utilization (Figure 2) ---------------------------------------
+    mma_input_useful: float = 0.0
+    mma_input_total: float = 0.0
+    mma_output_useful: float = 0.0
+    mma_output_total: float = 0.0
+
+    # --- efficiency knobs --------------------------------------------------
+    #: fraction of peak the tensor pipe can sustain for this kernel's issue
+    #: pattern (no software pipelining in Cubie => well below 1.0)
+    tc_efficiency: float = 0.45
+    #: fraction of peak the FMA pipe can sustain
+    cc_efficiency: float = 0.70
+    #: memory-level parallelism factor in (0, 1]: fraction of the coalesced
+    #: bandwidth a kernel can actually drive.  Kernels that spend warp issue
+    #: slots on expanded scalar arithmetic (the CC replacements) or suffer
+    #: load imbalance keep fewer loads in flight and set this below 1.
+    mlp: float = 1.0
+    #: number of dependent execution phases (each costs the device's
+    #: ``stage_latency_s`` beyond the first); the latency term that
+    #: dominates tiny kernels such as block Scan/Reduction
+    serial_stages: int = 1
+
+    # ------------------------------------------------------------------ API
+    def add_mma_fp64(self, count: float, *, m: int = 8, n: int = 8, k: int = 4,
+                     input_useful: float | None = None,
+                     output_useful: float | None = None) -> None:
+        """Account ``count`` FP64 ``mma_m{m}n{n}k{k}`` instructions to the
+        tensor pipe.  Utilization defaults to full fragments."""
+        flops = 2.0 * m * n * k * count
+        self.tc_flops += flops
+        self.mma_instructions += int(count)
+        in_total = (m * k + k * n) * count
+        out_total = m * n * count
+        self.mma_input_total += in_total
+        self.mma_input_useful += in_total if input_useful is None else input_useful
+        self.mma_output_total += out_total
+        self.mma_output_useful += out_total if output_useful is None else output_useful
+
+    def add_mma_as_fma(self, count: float, *, m: int = 8, n: int = 8,
+                       k: int = 4) -> None:
+        """Account the CUDA-core replacement of ``count`` MMAs: the same
+        flops, booked to the FMA pipe (the CC variants of Section 5.2)."""
+        flops = 2.0 * m * n * k * count
+        self.cc_flops += flops
+        # each thread of the 32-wide warp performs m*n*k/32 FMAs
+        self.fma_instructions += int(count * m * n * k)
+
+    def add_fma(self, flops: float) -> None:
+        """Account plain FMA-pipe flops (baselines and CC-E variants)."""
+        self.cc_flops += flops
+        self.fma_instructions += int(flops / 2.0)
+
+    def add_mma_b1(self, count: float, *, m: int = 8, n: int = 8,
+                   k: int = 128, output_useful: float | None = None) -> None:
+        """Account single-bit AND+POPC MMAs (BerryBees BFS)."""
+        ops = 2.0 * m * n * k * count
+        self.tc_b1_ops += ops
+        self.mma_instructions += int(count)
+        in_total = (m * k + k * n) * count
+        out_total = m * n * count
+        self.mma_input_total += in_total
+        self.mma_input_useful += in_total
+        self.mma_output_total += out_total
+        self.mma_output_useful += out_total if output_useful is None else output_useful
+
+    def read_dram(self, total_bytes: float, segment_bytes: float = 1 << 20) -> None:
+        """Record a DRAM read stream (defaults to fully streaming)."""
+        if total_bytes:
+            self.dram.append(AccessStream(total_bytes, segment_bytes, "read"))
+
+    def write_dram(self, total_bytes: float, segment_bytes: float = 1 << 20) -> None:
+        """Record a DRAM write stream."""
+        if total_bytes:
+            self.dram.append(AccessStream(total_bytes, segment_bytes, "write"))
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another stats object into this one (phase merging)."""
+        self.tc_flops += other.tc_flops
+        self.cc_flops += other.cc_flops
+        self.tc_b1_ops += other.tc_b1_ops
+        self.cc_int_ops += other.cc_int_ops
+        self.essential_flops += other.essential_flops
+        self.mma_instructions += other.mma_instructions
+        self.fma_instructions += other.fma_instructions
+        self.dram.extend(other.dram)
+        self.l1_bytes += other.l1_bytes
+        self.smem_bytes += other.smem_bytes
+        self.mma_input_useful += other.mma_input_useful
+        self.mma_input_total += other.mma_input_total
+        self.mma_output_useful += other.mma_output_useful
+        self.mma_output_total += other.mma_output_total
+
+    # ------------------------------------------------------------ derived
+    @property
+    def total_flops(self) -> float:
+        return self.tc_flops + self.cc_flops
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total *logical* DRAM bytes (before sector quantization)."""
+        return sum(s.total_bytes for s in self.dram)
+
+    @property
+    def input_utilization(self) -> float:
+        """Fraction of MMA input fragment elements carrying useful data."""
+        if self.mma_input_total == 0:
+            return 0.0
+        return self.mma_input_useful / self.mma_input_total
+
+    @property
+    def output_utilization(self) -> float:
+        """Fraction of MMA output fragment elements that are consumed."""
+        if self.mma_output_total == 0:
+            return 0.0
+        return self.mma_output_useful / self.mma_output_total
+
+    @property
+    def redundancy(self) -> float:
+        """Ratio of executed flops to essential flops (>= 1 when known)."""
+        if self.essential_flops <= 0:
+            return 1.0
+        return max(self.total_flops, self.essential_flops) / self.essential_flops
+
+    def arithmetic_intensity(self, level: str = "dram") -> float:
+        """Flops per byte at the requested memory level (Figure 9 x-axis)."""
+        if level == "dram":
+            b = self.dram_bytes
+        elif level == "l1":
+            b = self.l1_bytes
+        else:
+            raise ValueError(f"unknown level {level!r}")
+        if b <= 0:
+            return float("inf")
+        ops = self.total_flops if self.total_flops > 0 else self.tc_b1_ops + self.cc_int_ops
+        return ops / b

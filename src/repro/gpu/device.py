@@ -1,0 +1,120 @@
+"""The simulated device facade.
+
+A :class:`Device` bundles one :class:`~repro.gpu.specs.GPUSpec` with the
+timing, memory, and power models, and resolves a kernel's
+:class:`~repro.gpu.counters.KernelStats` into a :class:`KernelResult` —
+output array, execution time, throughput, power, energy.  Workload code never
+touches the models directly; it builds stats and asks the device to resolve
+them, so all three GPUs are evaluated through one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .counters import KernelStats
+from .memory import MemoryModel, MemoryTraffic
+from .power import PowerModel, PowerTrace
+from .specs import GPUSpec, get_gpu
+from .timing import TimingBreakdown, TimingModel
+
+__all__ = ["Device", "KernelResult"]
+
+
+@dataclass
+class KernelResult:
+    """Everything the harness needs about one kernel execution."""
+
+    #: the functional output (None for model-only / analytic evaluations)
+    output: Any
+    stats: KernelStats
+    #: modeled execution time, seconds
+    time_s: float
+    breakdown: TimingBreakdown
+    traffic: MemoryTraffic
+    #: steady-state board power, watts
+    power_w: float
+    #: energy of one execution, joules
+    energy_j: float
+    #: achieved useful flops/s (essential flops per modeled second)
+    flops: float
+
+    @property
+    def tflops(self) -> float:
+        return self.flops / 1e12
+
+    @property
+    def edp(self) -> float:
+        """Single-execution EDP = power x time^2."""
+        return self.power_w * self.time_s ** 2
+
+    def edp_repeated(self, repeats: int) -> float:
+        """EDP for a back-to-back measurement loop of ``repeats`` runs."""
+        t = self.time_s * repeats
+        return self.power_w * t * t
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Logical DRAM bytes per modeled second."""
+        if self.time_s <= 0:
+            return 0.0
+        return self.stats.dram_bytes / self.time_s
+
+
+class Device:
+    """A simulated GPU: spec + timing + memory + power models."""
+
+    def __init__(self, spec: GPUSpec | str, *,
+                 memory: MemoryModel | None = None,
+                 sample_hz: float = 20.0) -> None:
+        if isinstance(spec, str):
+            spec = get_gpu(spec)
+        self.spec = spec
+        self.memory = memory if memory is not None else MemoryModel()
+        self.timing = TimingModel(spec, self.memory)
+        self.power = PowerModel(spec, self.timing, sample_hz=sample_hz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Device({self.spec.name})"
+
+    # ------------------------------------------------------------------
+    def resolve(self, stats: KernelStats,
+                output: Any = None) -> KernelResult:
+        """Resolve counters into time/power/energy for this device."""
+        breakdown = self.timing.breakdown(stats)
+        time_s = breakdown.total_s
+        power_w = self.power.steady_power(stats)
+        return KernelResult(
+            output=output,
+            stats=stats,
+            time_s=time_s,
+            breakdown=breakdown,
+            traffic=self.memory.resolve(stats),
+            power_w=power_w,
+            energy_j=power_w * time_s,
+            flops=self.timing.throughput(stats),
+        )
+
+    def power_trace(self, stats: KernelStats, repeats: int = 1,
+                    **kwargs: Any) -> PowerTrace:
+        """Synthesize an NVML-like power trace for a measurement loop."""
+        return self.power.trace(stats, repeats, **kwargs)
+
+    # convenience constructors -----------------------------------------
+    @classmethod
+    def a100(cls) -> "Device":
+        return cls("A100")
+
+    @classmethod
+    def h200(cls) -> "Device":
+        return cls("H200")
+
+    @classmethod
+    def b200(cls) -> "Device":
+        return cls("B200")
+
+
+def all_devices() -> list[Device]:
+    """One :class:`Device` per GPU evaluated in the paper."""
+    return [Device("A100"), Device("H200"), Device("B200")]

@@ -1,0 +1,108 @@
+"""Warp fragment layouts for FP64 ``mma.sync.aligned.m8n8k4.row.col.f64``.
+
+An FP64 MMA distributes the 8x4 A operand, the 4x8 B operand, and the 8x8
+accumulator across the 32 lanes of a warp (Figure 1b of the paper).  The
+per-lane ownership below follows the PTX ISA's fragment description:
+
+* A (row-major 8x4): lane ``t`` holds ``A[t // 4][t % 4]`` — one double.
+* B (column-major 4x8): lane ``t`` holds ``B[t % 4][t // 4]`` — one double.
+* C/D (8x8): lane ``t`` holds ``C[t // 4][(t % 4) * 2 + i]`` for
+  ``i in {0, 1}`` — two doubles.
+
+These maps exist so that the CC variants of Section 5.2 can preserve the
+exact thread responsibilities of the tensor-core code, and so tests can
+verify that distribute/collect round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WARP_SIZE",
+    "a_fragment_index",
+    "b_fragment_index",
+    "c_fragment_index",
+    "distribute_a",
+    "distribute_b",
+    "distribute_c",
+    "collect_c",
+]
+
+WARP_SIZE = 32
+
+
+def a_fragment_index(lane: int) -> tuple[int, int]:
+    """(row, col) of the A element owned by ``lane``."""
+    _check_lane(lane)
+    return lane // 4, lane % 4
+
+
+def b_fragment_index(lane: int) -> tuple[int, int]:
+    """(row, col) of the B element owned by ``lane``."""
+    _check_lane(lane)
+    return lane % 4, lane // 4
+
+
+def c_fragment_index(lane: int, reg: int) -> tuple[int, int]:
+    """(row, col) of accumulator register ``reg`` (0 or 1) of ``lane``."""
+    _check_lane(lane)
+    if reg not in (0, 1):
+        raise ValueError(f"c fragment register must be 0 or 1, got {reg}")
+    return lane // 4, (lane % 4) * 2 + reg
+
+
+def distribute_a(a: np.ndarray) -> np.ndarray:
+    """Scatter an 8x4 A tile into per-lane registers (shape ``(32,)``)."""
+    a = _check_tile(a, (8, 4), "A")
+    regs = np.empty(WARP_SIZE, dtype=np.float64)
+    for lane in range(WARP_SIZE):
+        r, c = a_fragment_index(lane)
+        regs[lane] = a[r, c]
+    return regs
+
+
+def distribute_b(b: np.ndarray) -> np.ndarray:
+    """Scatter a 4x8 B tile into per-lane registers (shape ``(32,)``)."""
+    b = _check_tile(b, (4, 8), "B")
+    regs = np.empty(WARP_SIZE, dtype=np.float64)
+    for lane in range(WARP_SIZE):
+        r, c = b_fragment_index(lane)
+        regs[lane] = b[r, c]
+    return regs
+
+
+def distribute_c(c: np.ndarray) -> np.ndarray:
+    """Scatter an 8x8 accumulator into per-lane registers ``(32, 2)``."""
+    c = _check_tile(c, (8, 8), "C")
+    regs = np.empty((WARP_SIZE, 2), dtype=np.float64)
+    for lane in range(WARP_SIZE):
+        for reg in range(2):
+            r, cc = c_fragment_index(lane, reg)
+            regs[lane, reg] = c[r, cc]
+    return regs
+
+
+def collect_c(regs: np.ndarray) -> np.ndarray:
+    """Gather per-lane accumulator registers ``(32, 2)`` into an 8x8 tile."""
+    regs = np.asarray(regs, dtype=np.float64)
+    if regs.shape != (WARP_SIZE, 2):
+        raise ValueError(f"expected (32, 2) register file, got {regs.shape}")
+    c = np.empty((8, 8), dtype=np.float64)
+    for lane in range(WARP_SIZE):
+        for reg in range(2):
+            r, cc = c_fragment_index(lane, reg)
+            c[r, cc] = regs[lane, reg]
+    return c
+
+
+def _check_lane(lane: int) -> None:
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError(f"lane must be in [0, {WARP_SIZE}), got {lane}")
+
+
+def _check_tile(t: np.ndarray, shape: tuple[int, int], name: str) -> np.ndarray:
+    t = np.asarray(t, dtype=np.float64)
+    if t.shape != shape:
+        raise ValueError(f"{name} tile must have shape {shape}, got {t.shape}")
+    return t

@@ -1,0 +1,127 @@
+"""MMA instruction-set registry across precisions and GPU generations.
+
+The paper's background section (and Figure 12) discusses how tensor-core
+instruction interfaces grew across Volta/Turing/Ampere/Hopper/Blackwell.
+This module catalogs the MMA shapes per precision, which generations
+support them, and their per-instruction work — the information the
+counters and Figure 12 reasoning rest on.  The functional emulation in
+:mod:`repro.gpu.mma` implements the two shapes Cubie uses
+(``FP64 m8n8k4`` and ``B1 m8n8k128``); the rest of the catalog supports
+peak-throughput accounting and the flexible-MMU discussion of
+Observations 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Precision", "MmaShape", "MMA_SHAPES", "shapes_for",
+           "find_shape", "instruction_name"]
+
+
+class Precision(str, Enum):
+    """Operand precisions tensor cores accept."""
+
+    FP64 = "f64"
+    FP32 = "tf32"     # TF32: FP32 range, reduced mantissa
+    FP16 = "f16"
+    BF16 = "bf16"
+    INT8 = "s8"
+    B1 = "b1"         # single-bit (AND/XOR + POPC)
+
+    @property
+    def bits(self) -> int:
+        return {"f64": 64, "tf32": 19, "f16": 16, "bf16": 16,
+                "s8": 8, "b1": 1}[self.value]
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """One MMA instruction shape."""
+
+    precision: Precision
+    m: int
+    n: int
+    k: int
+    #: first architecture supporting it (matching GPUSpec.architecture)
+    since: str
+
+    @property
+    def ops_per_instruction(self) -> int:
+        """Multiply-accumulate ops (2 flops each for floating point;
+        AND+POPC pairs for B1)."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def a_elements(self) -> int:
+        return self.m * self.k
+
+    @property
+    def b_elements(self) -> int:
+        return self.k * self.n
+
+    @property
+    def c_elements(self) -> int:
+        return self.m * self.n
+
+    @property
+    def elements_per_lane(self) -> tuple[float, float, float]:
+        """(A, B, C) elements each of the 32 lanes holds."""
+        return (self.a_elements / 32, self.b_elements / 32,
+                self.c_elements / 32)
+
+    def name(self) -> str:
+        return instruction_name(self)
+
+
+def instruction_name(shape: MmaShape) -> str:
+    """PTX-style mnemonic, e.g. ``mma.sync.m8n8k4.f64``."""
+    return f"mma.sync.m{shape.m}n{shape.n}k{shape.k}.{shape.precision.value}"
+
+
+#: generation order for support checks
+_ARCH_ORDER = ("Volta", "Turing", "Ampere", "Hopper", "Blackwell")
+
+MMA_SHAPES: tuple[MmaShape, ...] = (
+    # FP64 arrives with Ampere — the paper's workhorse
+    MmaShape(Precision.FP64, 8, 8, 4, "Ampere"),
+    # TF32 (Ampere+)
+    MmaShape(Precision.FP32, 16, 8, 4, "Ampere"),
+    MmaShape(Precision.FP32, 16, 8, 8, "Ampere"),
+    # FP16 from Volta, widened over time
+    MmaShape(Precision.FP16, 8, 8, 4, "Volta"),
+    MmaShape(Precision.FP16, 16, 8, 8, "Turing"),
+    MmaShape(Precision.FP16, 16, 8, 16, "Ampere"),
+    MmaShape(Precision.BF16, 16, 8, 8, "Ampere"),
+    MmaShape(Precision.BF16, 16, 8, 16, "Ampere"),
+    # INT8 from Turing
+    MmaShape(Precision.INT8, 8, 8, 16, "Turing"),
+    MmaShape(Precision.INT8, 16, 8, 32, "Ampere"),
+    # single-bit from Turing — BerryBees' instruction
+    MmaShape(Precision.B1, 8, 8, 128, "Turing"),
+    MmaShape(Precision.B1, 16, 8, 256, "Ampere"),
+)
+
+
+def shapes_for(architecture: str,
+               precision: Precision | None = None) -> list[MmaShape]:
+    """Shapes an architecture supports (optionally one precision)."""
+    if architecture not in _ARCH_ORDER:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; "
+            f"known: {_ARCH_ORDER}")
+    level = _ARCH_ORDER.index(architecture)
+    out = [s for s in MMA_SHAPES
+           if _ARCH_ORDER.index(s.since) <= level
+           and (precision is None or s.precision is precision)]
+    return out
+
+
+def find_shape(precision: Precision, m: int, n: int, k: int) -> MmaShape:
+    """Exact shape lookup."""
+    for s in MMA_SHAPES:
+        if (s.precision, s.m, s.n, s.k) == (precision, m, n, k):
+            return s
+    raise ValueError(
+        f"no {precision.value} mma with m{m}n{n}k{k} in the catalog")

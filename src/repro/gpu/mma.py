@@ -1,0 +1,185 @@
+"""Functional emulation of tensor-core MMA instructions.
+
+Two instructions are emulated, matching the ones the Cubie suite uses:
+
+* ``mma_m8n8k4`` — FP64 D = A(8x4) @ B(4x8) + C(8x8), the workhorse of the
+  nine floating-point workloads;
+* ``mma_m8n8k128`` — single-bit D = popc(A(8x128) & B(128x8)) + C(8x8), the
+  bit-MMA BerryBees BFS builds on.
+
+Accumulation-order contract
+---------------------------
+The FP64 emulation accumulates the k dimension *sequentially*
+(``d = ((c + a0*b0) + a1*b1) + a2*b2) + a3*b3`` in index order), matching the
+FMA chain an FP64 tensor core performs.  The CC variants of Section 5.2 call
+these same functions, so TC and CC outputs are bit-identical by construction
+— exactly the paper's Table 6 finding.  One documented deviation from the
+hardware: NumPy has no fused multiply-add, so each step rounds twice
+(multiply then add) instead of once.  This shifts absolute error magnitudes
+by a small constant factor but preserves all ordering-based effects.
+
+All batched entry points accept arbitrary leading batch dimensions so that
+kernels can evaluate millions of MMAs in a handful of vectorized sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import fragments
+
+__all__ = [
+    "mma_m8n8k4",
+    "mma_m8n8k4_batched",
+    "mma_fp64_batched",
+    "warp_gemm_m8n8k4",
+    "pack_bits_rows",
+    "mma_m8n8k128_b1",
+    "mma_b1_batched",
+]
+
+
+def mma_m8n8k4(a: np.ndarray, b: np.ndarray,
+               c: np.ndarray | None = None) -> np.ndarray:
+    """Single FP64 ``mma_m8n8k4``: returns ``A @ B + C`` with k-sequential
+    accumulation.  ``a`` is 8x4, ``b`` is 4x8, ``c`` (optional) is 8x8."""
+    return mma_fp64_batched(a[np.newaxis], b[np.newaxis],
+                            None if c is None else c[np.newaxis])[0]
+
+
+def mma_m8n8k4_batched(a: np.ndarray, b: np.ndarray,
+                       c: np.ndarray | None = None) -> np.ndarray:
+    """Batched FP64 ``mma_m8n8k4`` over leading dimensions.
+
+    ``a``: (..., 8, 4); ``b``: (..., 4, 8); ``c``: (..., 8, 8) or None.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape[-2:] != (8, 4):
+        raise ValueError(f"A fragments must be (..., 8, 4), got {a.shape}")
+    if b.shape[-2:] != (4, 8):
+        raise ValueError(f"B fragments must be (..., 4, 8), got {b.shape}")
+    return mma_fp64_batched(a, b, c)
+
+
+def mma_fp64_batched(a: np.ndarray, b: np.ndarray,
+                     c: np.ndarray | None = None) -> np.ndarray:
+    """General batched MMA with k-sequential accumulation order.
+
+    ``a``: (..., m, k); ``b``: (..., k, n); ``c``: (..., m, n) or None.
+    This generalization lets kernels fuse several hardware MMAs along k
+    (e.g. a 64x64 GEMM tile accumulating over K) while keeping the exact
+    per-step rounding behaviour of a chain of ``mma_m8n8k4`` instructions.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError("operands must have at least 2 dimensions")
+    m, k = a.shape[-2:]
+    k2, n = b.shape[-2:]
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: A has k={k}, B has k={k2}")
+    batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    if c is None:
+        d = np.zeros(batch + (m, n), dtype=np.float64)
+    else:
+        c = np.asarray(c, dtype=np.float64)
+        if c.shape[-2:] != (m, n):
+            raise ValueError(f"C fragments must be (..., {m}, {n}), got {c.shape}")
+        d = np.broadcast_to(c, batch + (m, n)).copy()
+    # sequential rank-1 updates along k fixes the accumulation order
+    for kk in range(k):
+        d += a[..., :, kk:kk + 1] * b[..., kk:kk + 1, :]
+    return d
+
+
+def warp_gemm_m8n8k4(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Algorithm 1 of the paper, literally: a warp-level GEMM that loads A
+    and B into per-lane fragment registers, executes one
+    ``FP64_m8n8k4_mma``, and stores C through the accumulator fragment map.
+
+    Exists for fidelity and testing; bulk kernels use the batched paths.
+    """
+    a_regs = fragments.distribute_a(a)          # line 6: load A
+    b_regs = fragments.distribute_b(b)          # line 6: load B
+    c_regs = np.zeros((fragments.WARP_SIZE, 2))  # lines 4-5: init c[2]
+    # line 7: the MMA — reassemble operands from the register file, exactly
+    # as the hardware's dot-product network reads across lanes
+    a_tile = np.empty((8, 4))
+    b_tile = np.empty((4, 8))
+    for lane in range(fragments.WARP_SIZE):
+        ar, ac = fragments.a_fragment_index(lane)
+        a_tile[ar, ac] = a_regs[lane]
+        br, bc = fragments.b_fragment_index(lane)
+        b_tile[br, bc] = b_regs[lane]
+    d_tile = mma_m8n8k4(a_tile, b_tile)
+    c_regs = fragments.distribute_c(d_tile)
+    # line 8: store C via the fragment map
+    return fragments.collect_c(c_regs)
+
+
+# ----------------------------------------------------------------- bit MMA
+
+def pack_bits_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean matrix (..., r, 128) into uint64 words (..., r, 2).
+
+    BerryBees stores graph adjacency as 8x128 single-bit tiles; packing rows
+    into two 64-bit words keeps the popcount evaluation vectorized.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[-1] != 128:
+        raise ValueError(f"bit rows must have 128 columns, got {bits.shape[-1]}")
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    return packed_bytes.view(np.uint64).reshape(bits.shape[:-1] + (2,))
+
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (vectorized SWAR)."""
+    v = words.copy()
+    v -= (v >> np.uint64(1)) & _M1
+    v = (v & _M2) + ((v >> np.uint64(2)) & _M2)
+    v = (v + (v >> np.uint64(4))) & _M4
+    with np.errstate(over="ignore"):
+        v *= _H01
+    return (v >> np.uint64(56)).astype(np.int64)
+
+
+def mma_m8n8k128_b1(a_bits: np.ndarray, b_bits: np.ndarray,
+                    c: np.ndarray | None = None) -> np.ndarray:
+    """Single-bit ``mma.m8n8k128`` with AND+POPC semantics.
+
+    ``a_bits``: (8, 128) bool — A tile, row-major bits.
+    ``b_bits``: (128, 8) bool — B tile.
+    ``c``: (8, 8) int32 accumulator or None.
+    Returns the 8x8 int32 result ``D[i,j] = C[i,j] + popc(A[i,:] & B[:,j])``.
+    """
+    out = mma_b1_batched(pack_bits_rows(a_bits[np.newaxis]),
+                         pack_bits_rows(np.ascontiguousarray(b_bits.T)[np.newaxis]),
+                         None if c is None else c[np.newaxis])
+    return out[0]
+
+
+def mma_b1_batched(a_words: np.ndarray, b_words: np.ndarray,
+                   c: np.ndarray | None = None) -> np.ndarray:
+    """Batched bit-MMA on packed operands.
+
+    ``a_words``: (..., 8, 2) uint64 — rows of A packed.
+    ``b_words``: (..., 8, 2) uint64 — *columns* of B packed (i.e. B^T rows).
+    Returns (..., 8, 8) int64 accumulators.
+    """
+    a_words = np.asarray(a_words, dtype=np.uint64)
+    b_words = np.asarray(b_words, dtype=np.uint64)
+    if a_words.shape[-2:] != (8, 2) or b_words.shape[-2:] != (8, 2):
+        raise ValueError("packed operands must be (..., 8, 2) uint64")
+    # AND every row of A with every packed column of B, then popcount
+    anded = a_words[..., :, np.newaxis, :] & b_words[..., np.newaxis, :, :]
+    counts = _popcount_u64(anded[..., 0]) + _popcount_u64(anded[..., 1])
+    if c is not None:
+        counts = counts + np.asarray(c, dtype=np.int64)
+    return counts

@@ -1,0 +1,97 @@
+"""Mixed-precision MMA emulation (FP16 / BF16 / TF32 inputs, FP32
+accumulate).
+
+The paper's concluding Figure 12 contrasts the exploding FP16 tensor-core
+peaks with the regressing FP64 ones.  To reason about that trade-off
+quantitatively (can low-precision MMAs plus iterative refinement replace
+FP64 ones?), this module emulates the reduced-precision tensor-core data
+path faithfully:
+
+* inputs are *quantized* to the operand precision (IEEE half, bfloat16's
+  8-bit mantissa, or TF32's 10-bit mantissa) exactly as the hardware
+  truncates them;
+* products accumulate k-sequentially in FP32, each partial sum rounded to
+  FP32 (the documented tensor-core accumulate behaviour);
+* the result is returned in FP64 so downstream refinement arithmetic is
+  exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import Precision
+
+__all__ = ["quantize", "mma_mixed_batched", "unit_roundoff"]
+
+
+def unit_roundoff(precision: Precision) -> float:
+    """Half the spacing of the operand format at 1.0."""
+    return {
+        Precision.FP64: 2.0 ** -53,
+        Precision.FP32: 2.0 ** -11,   # TF32: 10 explicit mantissa bits
+        Precision.FP16: 2.0 ** -11,
+        Precision.BF16: 2.0 ** -8,
+    }[precision]
+
+
+def _truncate_mantissa(x: np.ndarray, keep_bits: int) -> np.ndarray:
+    """Round-to-nearest-even an FP32 array to ``keep_bits`` explicit
+    mantissa bits (the bfloat16 / TF32 quantization)."""
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    drop = 23 - keep_bits
+    # the classic round-to-nearest-even bias: add (half - 1) plus the
+    # lowest kept bit, then mask the dropped bits away
+    lsb = np.uint32(1) << np.uint32(drop)
+    round_bit = np.uint32(1) << np.uint32(drop - 1)
+    with np.errstate(over="ignore"):
+        rounded = bits + (round_bit - np.uint32(1)) \
+            + ((bits >> np.uint32(drop)) & np.uint32(1))
+    keep_mask = ~np.uint32(lsb - np.uint32(1))
+    return (rounded & keep_mask).view(np.float32)
+
+
+def quantize(x: np.ndarray, precision: Precision) -> np.ndarray:
+    """Quantize an array to an operand precision, returned as FP64."""
+    x = np.asarray(x, dtype=np.float64)
+    if precision is Precision.FP64:
+        return x.copy()
+    if precision is Precision.FP16:
+        return x.astype(np.float16).astype(np.float64)
+    if precision is Precision.BF16:
+        return _truncate_mantissa(x, 7).astype(np.float64)
+    if precision is Precision.FP32:  # TF32
+        return _truncate_mantissa(x, 10).astype(np.float64)
+    raise ValueError(f"no quantizer for {precision}")
+
+
+def mma_mixed_batched(a: np.ndarray, b: np.ndarray,
+                      c: np.ndarray | None = None,
+                      precision: Precision = Precision.FP16) -> np.ndarray:
+    """Batched MMA with quantized operands and FP32 accumulation.
+
+    ``a``: (..., m, k); ``b``: (..., k, n); ``c``: (..., m, n) FP32-class
+    accumulator (values treated as exactly representable).  Returns FP64.
+    """
+    aq = quantize(a, precision)
+    bq = quantize(b, precision)
+    if aq.ndim < 2 or bq.ndim < 2:
+        raise ValueError("operands must be at least 2-D")
+    m, k = aq.shape[-2:]
+    k2, n = bq.shape[-2:]
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    batch = np.broadcast_shapes(aq.shape[:-2], bq.shape[:-2])
+    if c is None:
+        acc = np.zeros(batch + (m, n), dtype=np.float32)
+    else:
+        acc = np.broadcast_to(np.asarray(c, dtype=np.float32),
+                              batch + (m, n)).copy()
+    a32 = aq.astype(np.float32)
+    b32 = bq.astype(np.float32)
+    for kk in range(k):
+        # product exact in fp32 for quantized inputs; accumulate rounds
+        acc = (acc + a32[..., :, kk:kk + 1]
+               * b32[..., kk:kk + 1, :]).astype(np.float32)
+    return acc.astype(np.float64)

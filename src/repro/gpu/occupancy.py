@@ -1,0 +1,113 @@
+"""SM occupancy model.
+
+Memory-level parallelism in the timing model is carried as a per-kernel
+MLP factor; this module provides the classical occupancy calculation that
+grounds those factors: given a kernel's per-thread register count, shared
+memory per block, and block size, how many warps can an SM keep resident,
+and what fraction of latency-hiding capacity does that buy?
+
+It is exposed as a diagnostic (see ``examples/characterize_custom_kernel``
+-style use and the tests) rather than wired into the calibrated constants,
+so the headline results stay reproducible while users can explore how
+resource pressure would shift them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import GPUSpec
+
+__all__ = ["SmResources", "KernelResources", "Occupancy",
+           "occupancy", "DEFAULT_SM"]
+
+
+@dataclass(frozen=True)
+class SmResources:
+    """Per-SM schedulable resources (Ampere/Hopper-class defaults)."""
+
+    max_warps: int = 64
+    max_blocks: int = 32
+    registers: int = 65536
+    shared_memory: int = 164 * 1024
+    warp_allocation_granularity: int = 4
+    register_allocation_unit: int = 256
+
+
+DEFAULT_SM = SmResources()
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """What one block of a kernel consumes."""
+
+    threads_per_block: int
+    registers_per_thread: int = 32
+    shared_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if not 32 <= self.threads_per_block <= 1024:
+            raise ValueError("threads_per_block must be in [32, 1024]")
+        if self.threads_per_block % 32:
+            raise ValueError("threads_per_block must be a warp multiple")
+        if not 16 <= self.registers_per_thread <= 255:
+            raise ValueError("registers_per_thread must be in [16, 255]")
+        if self.shared_per_block < 0:
+            raise ValueError("shared_per_block must be non-negative")
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.threads_per_block // 32
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    max_warps: int
+    #: what capped the block count
+    limiter: str
+
+    @property
+    def fraction(self) -> float:
+        return self.warps_per_sm / self.max_warps
+
+    def mlp_estimate(self, warps_to_saturate: int = 24) -> float:
+        """Memory-level-parallelism proxy: resident warps relative to the
+        count empirically needed to saturate HBM (~24 on these parts),
+        capped at 1."""
+        if warps_to_saturate <= 0:
+            raise ValueError("warps_to_saturate must be positive")
+        return min(self.warps_per_sm / warps_to_saturate, 1.0)
+
+
+def _round_up(x: int, unit: int) -> int:
+    return ((x + unit - 1) // unit) * unit
+
+
+def occupancy(kernel: KernelResources,
+              sm: SmResources = DEFAULT_SM) -> Occupancy:
+    """Classical CUDA occupancy calculation."""
+    limits: dict[str, int] = {}
+    limits["blocks"] = sm.max_blocks
+    limits["warps"] = sm.max_warps // kernel.warps_per_block
+    regs_per_block = _round_up(
+        kernel.registers_per_thread * 32,
+        sm.register_allocation_unit) * kernel.warps_per_block
+    limits["registers"] = (sm.registers // regs_per_block
+                           if regs_per_block else sm.max_blocks)
+    if kernel.shared_per_block:
+        limits["shared_memory"] = sm.shared_memory // kernel.shared_per_block
+    limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
+    blocks = max(limits[limiter], 0)
+    warps = min(blocks * kernel.warps_per_block, sm.max_warps)
+    return Occupancy(blocks_per_sm=blocks, warps_per_sm=warps,
+                     max_warps=sm.max_warps, limiter=limiter)
+
+
+def device_parallelism(spec: GPUSpec, kernel: KernelResources,
+                       sm: SmResources = DEFAULT_SM) -> int:
+    """Total resident warps across the device for a kernel."""
+    return occupancy(kernel, sm).warps_per_sm * spec.sms

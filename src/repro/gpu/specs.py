@@ -1,0 +1,160 @@
+"""GPU hardware specifications for the simulated devices.
+
+The three devices mirror Table 5 of the paper (A100 PCIe, H200 SXM in the
+GH200 platform, B200 SXM) plus the peak-throughput data behind Figure 12.
+All throughput values are *theoretical peaks*; the timing model in
+:mod:`repro.gpu.timing` applies per-kernel efficiencies on top.
+
+Units used throughout the package:
+
+* flops / second for compute peaks (not TFLOPS),
+* bytes / second for bandwidths,
+* watts for power,
+* seconds for times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GPUSpec",
+    "A100",
+    "H200",
+    "B200",
+    "ALL_GPUS",
+    "get_gpu",
+]
+
+_TERA = 1.0e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of one simulated GPU.
+
+    Parameters mirror the public whitepaper numbers used by the paper.  The
+    fields that drive the timing model are the two FP64 compute peaks, the
+    DRAM bandwidth, and the L1 bandwidth; the power model additionally uses
+    ``tdp_w`` and ``idle_w``.
+    """
+
+    name: str
+    architecture: str
+    #: number of streaming multiprocessors
+    sms: int
+    #: SM clock in GHz (boost clock, used for the L1 bandwidth ceiling)
+    clock_ghz: float
+    #: FP64 tensor-core peak, flops/s
+    tc_fp64: float
+    #: FP64 CUDA-core (vector) peak, flops/s
+    cc_fp64: float
+    #: FP16 tensor-core peak, flops/s (dense, no sparsity) — Figure 12
+    tc_fp16: float
+    #: FP16 CUDA-core peak, flops/s — Figure 12
+    cc_fp16: float
+    #: DRAM (HBM) bandwidth, bytes/s
+    dram_bw: float
+    #: DRAM capacity, bytes
+    dram_capacity: float
+    #: aggregate L1/shared bandwidth, bytes/s (computed or whitepaper-derived)
+    l1_bw: float
+    #: thermal design power, watts
+    tdp_w: float
+    #: idle power, watts
+    idle_w: float
+    #: kernel launch overhead, seconds
+    launch_overhead_s: float = 3.0e-6
+    #: latency of one dependent execution phase (barrier + memory round
+    #: trip); dominates small kernels like block Scan/Reduction
+    stage_latency_s: float = 3.0e-7
+    #: single-bit tensor-core peak in binary ops/s (AND+POPC), used by BFS
+    tc_b1: float = field(default=0.0)
+
+    @property
+    def tc_cc_ratio(self) -> float:
+        """Ratio of FP64 tensor-core peak to CUDA-core peak (2.0 on
+        Ampere/Hopper, 1.0 on Blackwell — the Figure 12 regression)."""
+        return self.tc_fp64 / self.cc_fp64
+
+    def l1_bw_from_lsu(self, lsu_per_sm: int = 32, access_bytes: int = 8) -> float:
+        """L1 bandwidth via the paper's Figure 9 formula
+        ``BW_L1 = N_SM * N_LSU * W_access * f_clock``."""
+        return self.sms * lsu_per_sm * access_bytes * self.clock_ghz * 1e9
+
+
+# NVIDIA A100 PCIe 40 GB (Ampere).  19.5 / 9.7 TFLOPS FP64 TC / CC,
+# 1.555 TB/s HBM2e, 312 TFLOPS FP16 TC.
+A100 = GPUSpec(
+    name="A100",
+    architecture="Ampere",
+    sms=108,
+    clock_ghz=1.41,
+    tc_fp64=19.5 * _TERA,
+    cc_fp64=9.7 * _TERA,
+    tc_fp16=312.0 * _TERA,
+    cc_fp16=78.0 * _TERA,
+    dram_bw=1.555e12,
+    dram_capacity=40e9,
+    l1_bw=108 * 32 * 8 * 1.41e9,
+    tdp_w=250.0,
+    idle_w=55.0,
+    stage_latency_s=5.0e-7,
+    tc_b1=4992.0 * _TERA,
+)
+
+# NVIDIA H200 SXM (Hopper, GH200 platform).  66.9 / 33.5 TFLOPS FP64,
+# 4 TB/s HBM3e, 989.5 TFLOPS FP16 TC, TDP 750 W (per the paper, Section 7).
+H200 = GPUSpec(
+    name="H200",
+    architecture="Hopper",
+    sms=132,
+    clock_ghz=1.83,
+    tc_fp64=66.9 * _TERA,
+    cc_fp64=33.5 * _TERA,
+    tc_fp16=989.5 * _TERA,
+    cc_fp16=133.8 * _TERA,
+    dram_bw=4.0e12,
+    dram_capacity=96e9,
+    l1_bw=132 * 32 * 8 * 1.83e9,
+    tdp_w=750.0,
+    idle_w=75.0,
+    stage_latency_s=3.0e-7,
+    tc_b1=7916.0 * _TERA,
+)
+
+# NVIDIA B200 SXM (Blackwell).  FP64 TC throughput regresses to 40 TFLOPS and
+# equals the CUDA-core peak (Table 5 / Figure 12); 8 TB/s HBM3e,
+# 1800 TFLOPS FP16 TC.
+B200 = GPUSpec(
+    name="B200",
+    architecture="Blackwell",
+    sms=148,
+    clock_ghz=1.96,
+    tc_fp64=40.0 * _TERA,
+    cc_fp64=40.0 * _TERA,
+    tc_fp16=1800.0 * _TERA,
+    cc_fp16=160.0 * _TERA,
+    dram_bw=8.0e12,
+    dram_capacity=180e9,
+    l1_bw=148 * 32 * 8 * 1.96e9,
+    tdp_w=1000.0,
+    idle_w=90.0,
+    stage_latency_s=2.7e-7,
+    tc_b1=14400.0 * _TERA,
+)
+
+ALL_GPUS: tuple[GPUSpec, ...] = (A100, H200, B200)
+
+_BY_NAME = {g.name.lower(): g for g in ALL_GPUS}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look a device up by name (case-insensitive): ``"A100"``, ``"H200"``,
+    ``"B200"``."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown GPU {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

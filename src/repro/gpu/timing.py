@@ -1,0 +1,131 @@
+"""Analytic timing model: a dual-peak, cache-aware roofline.
+
+Execution time for one kernel is
+
+    t = t_launch + max(t_tensor, t_fma, t_dram, t_l1)
+
+where each component is the work booked to that resource divided by the
+resource's *sustainable* rate (peak x per-kernel issue efficiency, or
+sector-quantized bandwidth).  The model deliberately has no per-workload
+fudge factors beyond the two issue efficiencies carried in
+:class:`~repro.gpu.counters.KernelStats`; every performance effect in the
+paper's Figures 3-6 must emerge from op counts, byte counts, contiguity, and
+the per-architecture peak ratios in :mod:`repro.gpu.specs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import KernelStats
+from .memory import MemoryModel
+from .specs import GPUSpec
+
+__all__ = ["TimingBreakdown", "TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-resource time components for one kernel execution."""
+
+    tensor_s: float
+    fma_s: float
+    dram_s: float
+    l1_s: float
+    launch_s: float
+    #: dependent-phase latency beyond the first phase
+    stage_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.launch_s + self.stage_s + max(self.tensor_s, self.fma_s,
+                                                  self.dram_s, self.l1_s)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the limiting resource."""
+        parts = {
+            "tensor": self.tensor_s,
+            "fma": self.fma_s,
+            "dram": self.dram_s,
+            "l1": self.l1_s,
+        }
+        return max(parts, key=parts.get)  # type: ignore[arg-type]
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of the kernel's wall time each resource is busy."""
+        t = self.total_s
+        if t <= 0:
+            return {"tensor": 0.0, "fma": 0.0, "dram": 0.0, "l1": 0.0}
+        return {
+            "tensor": self.tensor_s / t,
+            "fma": self.fma_s / t,
+            "dram": self.dram_s / t,
+            "l1": self.l1_s / t,
+        }
+
+
+class TimingModel:
+    """Maps :class:`KernelStats` to execution time on a :class:`GPUSpec`."""
+
+    def __init__(self, spec: GPUSpec, memory: MemoryModel | None = None) -> None:
+        self.spec = spec
+        self.memory = memory if memory is not None else MemoryModel()
+
+    # ------------------------------------------------------------------
+    def tensor_time(self, stats: KernelStats) -> float:
+        """Tensor-pipe busy time: FP64 MMA flops plus bit-MMA ops."""
+        t = 0.0
+        if stats.tc_flops > 0:
+            t += stats.tc_flops / (self.spec.tc_fp64 * stats.tc_efficiency)
+        if stats.tc_b1_ops > 0 and self.spec.tc_b1 > 0:
+            t += stats.tc_b1_ops / (self.spec.tc_b1 * stats.tc_efficiency)
+        return t
+
+    def fma_time(self, stats: KernelStats) -> float:
+        """FMA-pipe busy time: vector FP64 flops plus integer/bitwise ops
+        (integer throughput modeled at the FP64 vector rate x 2, since INT32
+        lanes are twice the FP64 lane count on these parts)."""
+        t = 0.0
+        if stats.cc_flops > 0:
+            t += stats.cc_flops / (self.spec.cc_fp64 * stats.cc_efficiency)
+        if stats.cc_int_ops > 0:
+            int_rate = 2.0 * self.spec.cc_fp64
+            t += stats.cc_int_ops / (int_rate * stats.cc_efficiency)
+        return t
+
+    def dram_time(self, stats: KernelStats) -> float:
+        return self.memory.dram_time(stats, self.spec.dram_bw)
+
+    def l1_time(self, stats: KernelStats) -> float:
+        if stats.l1_bytes <= 0:
+            return 0.0
+        return stats.l1_bytes / self.spec.l1_bw
+
+    # ------------------------------------------------------------------
+    def breakdown(self, stats: KernelStats) -> TimingBreakdown:
+        return TimingBreakdown(
+            tensor_s=self.tensor_time(stats),
+            fma_s=self.fma_time(stats),
+            dram_s=self.dram_time(stats),
+            l1_s=self.l1_time(stats),
+            launch_s=self.spec.launch_overhead_s,
+            stage_s=max(stats.serial_stages - 1, 0) * self.spec.stage_latency_s,
+        )
+
+    def time(self, stats: KernelStats) -> float:
+        """Total kernel execution time, seconds."""
+        return self.breakdown(stats).total_s
+
+    def throughput(self, stats: KernelStats, useful_flops: float | None = None) -> float:
+        """Achieved flops/s.  ``useful_flops`` defaults to the essential
+        flop count when recorded (so redundant MMU padding does not inflate
+        reported throughput), else to executed flops."""
+        t = self.time(stats)
+        if t <= 0:
+            return 0.0
+        if useful_flops is None:
+            useful_flops = (stats.essential_flops
+                            if stats.essential_flops > 0
+                            else stats.total_flops)
+        return useful_flops / t

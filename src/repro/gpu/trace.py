@@ -1,0 +1,123 @@
+"""Execution timeline: sequence kernels and export traces.
+
+Applications built on the suite (e.g. a solver issuing thousands of SpMV
+calls, or the Figure 8 measurement loops) can record modeled kernel
+executions on a timeline, query aggregate statistics, and export the
+standard Chrome trace-event JSON (loadable in ``chrome://tracing`` or
+Perfetto) with one track per execution resource.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .device import Device, KernelResult
+
+__all__ = ["TimelineEvent", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One kernel occurrence on the timeline."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    bottleneck: str
+    power_w: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class Timeline:
+    """An ordered record of kernel executions on one device."""
+
+    device: Device
+    events: list[TimelineEvent] = field(default_factory=list)
+    _cursor_s: float = 0.0
+
+    def record(self, name: str, result: KernelResult,
+               repeats: int = 1) -> TimelineEvent:
+        """Append ``repeats`` back-to-back executions as one event."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        ev = TimelineEvent(
+            name=name,
+            start_s=self._cursor_s,
+            duration_s=result.time_s * repeats,
+            bottleneck=result.breakdown.bottleneck,
+            power_w=result.power_w,
+        )
+        self.events.append(ev)
+        self._cursor_s = ev.end_s
+        return ev
+
+    def gap(self, seconds: float) -> None:
+        """Idle time between kernels (host work, transfers)."""
+        if seconds < 0:
+            raise ValueError("gap must be non-negative")
+        self._cursor_s += seconds
+
+    # ------------------------------------------------------------ queries
+    @property
+    def total_s(self) -> float:
+        return self._cursor_s
+
+    @property
+    def busy_s(self) -> float:
+        return sum(e.duration_s for e in self.events)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the timeline."""
+        if self.total_s <= 0:
+            return 0.0
+        return self.busy_s / self.total_s
+
+    def energy_j(self) -> float:
+        """Kernel energy plus idle power during gaps."""
+        busy = sum(e.duration_s * e.power_w for e in self.events)
+        idle = (self.total_s - self.busy_s) * self.device.spec.idle_w
+        return busy + idle
+
+    def time_by_bottleneck(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.bottleneck] = out.get(e.bottleneck, 0.0) + e.duration_s
+        return out
+
+    # ------------------------------------------------------------ export
+    def to_chrome_trace(self) -> str:
+        """Chrome trace-event JSON: one row per bottleneck resource."""
+        events = []
+        for e in self.events:
+            events.append({
+                "name": e.name,
+                "cat": e.bottleneck,
+                "ph": "X",
+                "ts": e.start_s * 1e6,        # microseconds
+                "dur": e.duration_s * 1e6,
+                "pid": 0,
+                "tid": e.bottleneck,
+                "args": {"power_w": e.power_w},
+            })
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ms"}, indent=1)
+
+    def to_text(self, width: int = 60) -> str:
+        """A monospace gantt sketch."""
+        if not self.events:
+            return "(empty timeline)"
+        total = max(self.total_s, 1e-300)
+        lines = []
+        for e in self.events:
+            lo = int(e.start_s / total * width)
+            hi = max(int(e.end_s / total * width), lo + 1)
+            bar = " " * lo + "#" * (hi - lo)
+            lines.append(f"{e.name[:20]:20s} |{bar.ljust(width)}| "
+                         f"{e.duration_s * 1e3:9.3f} ms {e.bottleneck}")
+        return "\n".join(lines)

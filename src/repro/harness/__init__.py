@@ -1,0 +1,34 @@
+"""Evaluation harness: the runner and report formatting used by the
+figure/table regenerators in ``benchmarks/``."""
+
+from .artifact import evaluate, full_evaluation, quick_test
+from .report import format_seconds, format_si, format_speedups, format_table
+from .sweep import SIZE_SWEEPS, SweepPoint, find_crossover, sweep_sizes
+from .whatif import WhatIfResult, evaluate_whatif, hypothetical
+from .runner import (
+    PerfRecord,
+    default_devices,
+    run_performance,
+    speedup_summary,
+)
+
+__all__ = [
+    "evaluate",
+    "full_evaluation",
+    "quick_test",
+    "format_seconds",
+    "format_si",
+    "format_speedups",
+    "format_table",
+    "WhatIfResult",
+    "evaluate_whatif",
+    "hypothetical",
+    "SIZE_SWEEPS",
+    "SweepPoint",
+    "find_crossover",
+    "sweep_sizes",
+    "PerfRecord",
+    "default_devices",
+    "run_performance",
+    "speedup_summary",
+]

@@ -1,0 +1,61 @@
+"""Text rendering of the paper's tables and figure series.
+
+Every figure/table regenerator in ``benchmarks/`` prints through these
+helpers so the output matches the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_speedups", "format_si", "format_seconds"]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """1234567 -> '1.23 M<unit>' (engineering prefixes)."""
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def format_seconds(t: float) -> str:
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t * 1e6:.2f} us"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Monospace table with column alignment."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedups(speedups: dict[tuple[str, str], float],
+                    title: str) -> str:
+    """Render a {(gpu, workload): speedup} map grouped by workload."""
+    gpus = sorted({g for g, _ in speedups})
+    workloads = []
+    for _, w in speedups:
+        if w not in workloads:
+            workloads.append(w)
+    rows = []
+    for w in workloads:
+        rows.append([w] + [f"{speedups.get((g, w), float('nan')):.2f}x"
+                           for g in gpus])
+    return format_table(["workload"] + gpus, rows, title=title)

@@ -1,0 +1,100 @@
+"""Evaluation runner: workloads x variants x cases x GPUs.
+
+This is the programmatic equivalent of the artifact's ``run_perf.sh`` —
+it evaluates the analytic model at paper scale for every combination and
+returns structured records the report layer formats into the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..kernels.base import Quadrant, Variant, Workload
+from ..kernels import all_workloads
+
+__all__ = ["PerfRecord", "run_performance", "speedup_summary",
+           "default_devices"]
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One point of Figure 3."""
+
+    gpu: str
+    workload: str
+    quadrant: Quadrant
+    variant: str
+    case: str
+    time_s: float
+    #: useful (essential) flops per second; 0 for the bit-only BFS
+    flops: float
+    power_w: float
+    energy_j: float
+    bottleneck: str
+    dram_bytes: float
+    arithmetic_intensity: float
+
+
+def default_devices() -> list[Device]:
+    return [Device("A100"), Device("H200"), Device("B200")]
+
+
+def run_performance(workloads: list[Workload] | None = None,
+                    devices: list[Device] | None = None
+                    ) -> list[PerfRecord]:
+    """Evaluate every (gpu, workload, variant, case) combination."""
+    if workloads is None:
+        workloads = all_workloads()
+    if devices is None:
+        devices = default_devices()
+    records: list[PerfRecord] = []
+    for dev in devices:
+        for w in workloads:
+            for case in w.cases():
+                for variant in w.variants():
+                    stats = w.analytic_stats(variant, case)
+                    r = dev.resolve(stats)
+                    records.append(PerfRecord(
+                        gpu=dev.spec.name,
+                        workload=w.name,
+                        quadrant=w.quadrant,
+                        variant=variant.value,
+                        case=case.label,
+                        time_s=r.time_s,
+                        flops=r.flops,
+                        power_w=r.power_w,
+                        energy_j=r.energy_j,
+                        bottleneck=r.breakdown.bottleneck,
+                        dram_bytes=stats.dram_bytes,
+                        arithmetic_intensity=stats.arithmetic_intensity(),
+                    ))
+    return records
+
+
+def speedup_summary(records: list[PerfRecord], numerator: Variant,
+                    denominator: Variant) -> dict[tuple[str, str], float]:
+    """Per (gpu, workload) mean of time(denominator)/time(numerator)
+    across the five cases — the bars of Figures 4-6."""
+    times: dict[tuple[str, str, str, str], float] = {}
+    for r in records:
+        times[(r.gpu, r.workload, r.variant, r.case)] = r.time_s
+    out: dict[tuple[str, str], float] = {}
+    pairs = sorted({(r.gpu, r.workload) for r in records})
+    for gpu, wname in pairs:
+        ratios = []
+        for r in records:
+            if r.gpu != gpu or r.workload != wname:
+                continue
+            if r.variant != numerator.value:
+                continue
+            denom = times.get((gpu, wname, denominator.value, r.case))
+            if denom is None:
+                continue
+            ratios.append(denom / r.time_s)
+        if ratios:
+            out[(gpu, wname)] = float(np.mean(ratios))
+    return out

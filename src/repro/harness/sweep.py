@@ -1,0 +1,124 @@
+"""Problem-size sweeps and crossover analysis.
+
+The paper's Figure 3 shows per-case absolute performance; the interesting
+derived question — *from what problem size on does the MMU version win?* —
+is answered here.  Size-parameterized workloads sweep a geometric size
+grid, and :func:`find_crossover` locates the smallest size where the TC
+variant beats the baseline (small problems are launch-latency-bound, where
+MMUs cannot help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..gpu.device import Device
+from ..kernels.base import Variant, Workload, WorkloadCase
+from ..kernels.fft import FftWorkload
+from ..kernels.gemm import GemmWorkload
+from ..kernels.gemv import GemvWorkload
+from ..kernels.reduction import ReductionWorkload
+from ..kernels.scan import ScanWorkload
+from ..kernels.stencil import StencilWorkload
+
+__all__ = ["SweepPoint", "SIZE_SWEEPS", "sweep_sizes", "find_crossover"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (size, variant) evaluation."""
+
+    workload: str
+    size: int
+    variant: str
+    time_s: float
+    flops: float
+
+
+def _gemm_case(s: int) -> WorkloadCase:
+    return WorkloadCase(label=str(s), params={"m": s, "n": s, "k": s})
+
+
+def _gemv_case(s: int) -> WorkloadCase:
+    return WorkloadCase(label=str(s), params={"m": s, "n": 16})
+
+
+def _fft_case(s: int) -> WorkloadCase:
+    return WorkloadCase(label=str(s),
+                        params={"n1": 256, "n2": 1, "batch": s})
+
+
+def _stencil_case(s: int) -> WorkloadCase:
+    return WorkloadCase(label=str(s),
+                        params={"kind": "star2d1r", "nx": s, "ny": s,
+                                "nz": 1})
+
+
+def _scan_case(s: int) -> WorkloadCase:
+    return WorkloadCase(label=str(s), params={"segment": 1024, "n": s})
+
+
+#: size-parameterized workloads: (workload factory, case builder, sizes)
+SIZE_SWEEPS: dict[str, tuple[Callable[[], Workload],
+                             Callable[[int], WorkloadCase],
+                             tuple[int, ...]]] = {
+    "gemm": (GemmWorkload, _gemm_case,
+             (32, 64, 128, 256, 512, 1024, 2048, 4096)),
+    "gemv": (GemvWorkload, _gemv_case,
+             (256, 1024, 4096, 16384, 65536, 262144)),
+    "fft": (FftWorkload, _fft_case, (8, 64, 512, 4096, 32768)),
+    "stencil": (StencilWorkload, _stencil_case,
+                (64, 256, 1024, 4096, 16384)),
+    "scan": (ScanWorkload, _scan_case,
+             (1 << 12, 1 << 16, 1 << 20, 1 << 24)),
+    "reduction": (ReductionWorkload, _scan_case,
+                  (1 << 12, 1 << 16, 1 << 20, 1 << 24)),
+}
+
+
+def sweep_sizes(name: str, device: Device,
+                variants: tuple[Variant, ...] = (Variant.BASELINE,
+                                                 Variant.TC)
+                ) -> list[SweepPoint]:
+    """Evaluate a workload's analytic model across its size grid."""
+    try:
+        factory, case_of, sizes = SIZE_SWEEPS[name]
+    except KeyError:
+        raise ValueError(
+            f"no size sweep for {name!r}; available: "
+            f"{sorted(SIZE_SWEEPS)}") from None
+    w = factory()
+    points = []
+    for s in sizes:
+        case = case_of(s)
+        for v in variants:
+            if v not in w.variants():
+                continue
+            r = device.resolve(w.analytic_stats(v, case))
+            points.append(SweepPoint(workload=name, size=s,
+                                     variant=v.value, time_s=r.time_s,
+                                     flops=r.flops))
+    return points
+
+
+def find_crossover(points: list[SweepPoint],
+                   challenger: str = "tc",
+                   incumbent: str = "baseline") -> int | None:
+    """Smallest sweep size at which the challenger is strictly faster and
+    stays faster for all larger sizes.  None if it never settles ahead."""
+    by_size: dict[int, dict[str, float]] = {}
+    for p in points:
+        by_size.setdefault(p.size, {})[p.variant] = p.time_s
+    sizes = sorted(by_size)
+    crossover: int | None = None
+    for s in sizes:
+        pair = by_size[s]
+        if challenger not in pair or incumbent not in pair:
+            continue
+        if pair[challenger] < pair[incumbent]:
+            if crossover is None:
+                crossover = s
+        else:
+            crossover = None  # fell behind again; keep looking
+    return crossover

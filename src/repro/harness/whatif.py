@@ -1,0 +1,91 @@
+"""What-if architecture exploration.
+
+The conclusion of the paper asks GPU roadmaps to "preserve and materially
+strengthen FP64 MMU capability".  This module gives architecture
+researchers the tool to test such proposals: take a real spec, scale any
+subset of its resources (FP64 tensor peak, vector peak, DRAM bandwidth,
+launch overhead, ...), and re-evaluate any workload set on the
+hypothetical part — the generalization of the peak-ratio ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..gpu.device import Device
+from ..gpu.specs import GPUSpec, get_gpu
+from ..kernels.base import Variant, Workload
+
+__all__ = ["hypothetical", "WhatIfResult", "evaluate_whatif"]
+
+_SCALABLE = {
+    "tc_fp64": "tc_fp64",
+    "cc_fp64": "cc_fp64",
+    "tc_fp16": "tc_fp16",
+    "tc_b1": "tc_b1",
+    "dram_bw": "dram_bw",
+    "l1_bw": "l1_bw",
+    "launch_overhead_s": "launch_overhead_s",
+    "stage_latency_s": "stage_latency_s",
+}
+
+
+def hypothetical(base: GPUSpec | str, name: str | None = None,
+                 **scales: float) -> GPUSpec:
+    """A spec derived from ``base`` with resources scaled.
+
+    ``hypothetical("B200", tc_fp64=2.0)`` is a Blackwell whose FP64
+    tensor peak is doubled; any field in ``tc_fp64, cc_fp64, tc_fp16,
+    tc_b1, dram_bw, l1_bw, launch_overhead_s, stage_latency_s`` accepts a
+    positive multiplier.
+    """
+    if isinstance(base, str):
+        base = get_gpu(base)
+    changes: dict[str, float] = {}
+    for key, factor in scales.items():
+        if key not in _SCALABLE:
+            raise ValueError(
+                f"cannot scale {key!r}; scalable: {sorted(_SCALABLE)}")
+        if factor <= 0:
+            raise ValueError(f"scale for {key} must be positive")
+        changes[key] = getattr(base, key) * factor
+    label = name or (base.name + "*"
+                     + ",".join(f"{k}x{v:g}" for k, v in scales.items()))
+    return dataclasses.replace(base, name=label, **changes)
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Per-workload effect of a hypothetical architecture change."""
+
+    workload: str
+    variant: str
+    base_time_s: float
+    whatif_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.base_time_s / self.whatif_time_s
+
+
+def evaluate_whatif(workloads: list[Workload], base: GPUSpec | str,
+                    whatif: GPUSpec,
+                    variant: Variant = Variant.TC) -> list[WhatIfResult]:
+    """Compare every workload's representative case on base vs whatif."""
+    base_dev = Device(base if isinstance(base, GPUSpec) else get_gpu(base))
+    new_dev = Device(whatif)
+    results = []
+    for w in workloads:
+        v = w.resolve_variant(variant)
+        if v not in w.variants():
+            continue
+        case = w.representative_case()
+        stats = w.analytic_stats(v, case)
+        results.append(WhatIfResult(
+            workload=w.name,
+            variant=v.value,
+            base_time_s=base_dev.timing.time(stats),
+            whatif_time_s=new_dev.timing.time(stats),
+        ))
+    return results

@@ -1,0 +1,69 @@
+"""The ten Cubie workloads (Table 2), their variants, and the registry."""
+
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    MLP_FULL,
+    MLP_IRREGULAR,
+    MLP_MMA_CC,
+    TC_EFF,
+    TC_EFF_CONST,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+    all_workloads,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from .bfs import BfsWorkload
+from .fft import FftWorkload
+from .gemm import GemmWorkload
+from .gemv import GemvWorkload
+from .pic import PicWorkload
+from .reduction import ReductionWorkload
+from .scan import ScanWorkload
+from .spgemm import SpgemmWorkload
+from .spmv import SpmvWorkload
+from .stencil import StencilWorkload
+
+# suite order follows Table 2
+register_workload(GemmWorkload())
+register_workload(PicWorkload())
+register_workload(FftWorkload())
+register_workload(StencilWorkload())
+register_workload(ScanWorkload())
+register_workload(ReductionWorkload())
+register_workload(BfsWorkload())
+register_workload(GemvWorkload())
+register_workload(SpmvWorkload())
+register_workload(SpgemmWorkload())
+
+__all__ = [
+    "CC_EFF",
+    "CC_EFF_MMA",
+    "MLP_FULL",
+    "MLP_IRREGULAR",
+    "MLP_MMA_CC",
+    "TC_EFF",
+    "TC_EFF_CONST",
+    "Quadrant",
+    "Variant",
+    "Workload",
+    "WorkloadCase",
+    "all_workloads",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+    "BfsWorkload",
+    "FftWorkload",
+    "GemmWorkload",
+    "GemvWorkload",
+    "PicWorkload",
+    "ReductionWorkload",
+    "ScanWorkload",
+    "SpgemmWorkload",
+    "SpmvWorkload",
+    "StencilWorkload",
+]

@@ -1,0 +1,223 @@
+"""Workload framework: variants, test cases, registry, calibration.
+
+Every Cubie workload implements :class:`Workload` with up to four variants
+(Section 5.2 of the paper):
+
+* ``baseline`` — the vendor-library / prior-art algorithm on vector units;
+* ``tc``       — the MMU-optimized algorithm on tensor cores;
+* ``cc``       — the *same* algorithm/data layout with every MMA replaced by
+  equivalent FMA-pipe work (bit-identical outputs to ``tc`` by construction);
+* ``cce``      — essential-computation-only CUDA-core code (equals ``cc``
+  for Quadrant I workloads, which have no MMA-induced redundancy).
+
+Workloads expose two evaluation paths that one set of internal stat-builders
+feeds: ``execute`` runs functionally on the simulated device at a feasible
+scale and returns outputs plus measured counters, while ``analytic_stats``
+produces the same counters from closed-form size arithmetic at paper scale
+(Table 2 cases).  A per-workload test asserts the two agree.
+
+Calibration constants
+---------------------
+The sustained-efficiency and memory-level-parallelism constants below are
+the model's only free parameters.  They are *global across workloads and
+GPUs* — set once from the physical arguments in the comments — so every
+per-workload, per-GPU effect in Figures 3-6 emerges from op/byte counts and
+the spec table, not from per-experiment tuning.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, ClassVar, Mapping
+
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+
+__all__ = [
+    "Variant",
+    "Quadrant",
+    "WorkloadCase",
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "all_workloads",
+    "workload_names",
+    # calibration
+    "TC_EFF",
+    "TC_EFF_CONST",
+    "CC_EFF",
+    "CC_EFF_MMA",
+    "MLP_FULL",
+    "MLP_MMA_CC",
+    "MLP_IRREGULAR",
+]
+
+# --- calibration constants (see module docstring) --------------------------
+
+#: tensor pipe sustained fraction for MMA-dense kernels without the deep
+#: software pipelining of cuBLAS/CUTLASS (Cubie excludes those, Section 9)
+TC_EFF = 0.55
+#: tensor pipe fraction when one operand is a register-resident constant
+#: matrix (Scan/Reduction): no operand reload between MMAs boosts issue rate
+TC_EFF_CONST = 0.62
+#: FMA pipe fraction for natural vector code (baselines, CC-E)
+CC_EFF = 0.50
+#: FMA pipe fraction for MMA-expanded lane code (CC variants): each MMA
+#: becomes 8 dependent scalar FMAs per lane with the MMA's register layout,
+#: which starves the schedulers relative to hand-shaped vector code
+CC_EFF_MMA = 0.45
+#: full memory-level parallelism (enough warps to saturate DRAM)
+MLP_FULL = 1.0
+#: MLP of CC variants in memory-bound kernels: warp issue slots diverted to
+#: the expanded FMA streams keep fewer loads in flight
+MLP_MMA_CC = 0.62
+#: MLP of irregular baselines (CSR-vector row imbalance, one-thread-per-row
+#: GEMV, push-BFS atomics)
+MLP_IRREGULAR = 0.60
+
+
+class Variant(str, Enum):
+    """The four algorithmic implementation variants of Section 5.2."""
+
+    BASELINE = "baseline"
+    TC = "tc"
+    CC = "cc"
+    CCE = "cce"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Quadrant(str, Enum):
+    """MMU utilization quadrants (Figure 2)."""
+
+    I = "I"     # full input, full output     (GEMM, PiC, FFT, Stencil)
+    II = "II"   # partial input, full output  (Scan)
+    III = "III"  # partial input, partial output (Reduction)
+    IV = "IV"   # full input, partial output  (BFS, GEMV, SpMV, SpGEMM)
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One test case of Table 2."""
+
+    label: str
+    params: Mapping[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+
+class Workload(abc.ABC):
+    """Base class for the ten Cubie workloads."""
+
+    name: ClassVar[str]
+    quadrant: ClassVar[Quadrant]
+    #: Berkeley dwarf this workload represents (Table 7)
+    dwarf: ClassVar[str]
+    #: the baseline library/method of Table 2
+    baseline_name: ClassVar[str]
+    #: whether a distinct CC-E variant exists (False for Quadrant I)
+    has_cce: ClassVar[bool] = True
+    #: Figure 7 measurement-loop repeat count for this workload
+    edp_repeats: ClassVar[int] = 1000
+    #: does the workload perform floating-point math (BFS does not)
+    floating_point: ClassVar[bool] = True
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def cases(self) -> list[WorkloadCase]:
+        """The five paper-scale test cases (Table 2)."""
+
+    def representative_case(self) -> WorkloadCase:
+        """The single case used for power (Figs 7-8) and accuracy (Table 6);
+        defaults to the middle case."""
+        cs = self.cases()
+        return cs[len(cs) // 2]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        """A functionally executable (possibly down-scaled) version of
+        ``case``.  Defaults to the case itself."""
+        return case
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        """Generate the problem inputs for a case (deterministic)."""
+
+    @abc.abstractmethod
+    def reference(self, data: dict) -> Any:
+        """The CPU-serial ground-truth output (None for BFS-style kernels
+        whose output is validated structurally)."""
+
+    @abc.abstractmethod
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        """Run a variant functionally on the simulated device."""
+
+    @abc.abstractmethod
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        """Closed-form counters for a paper-scale case."""
+
+    # ------------------------------------------------------------------
+    def variants(self) -> tuple[Variant, ...]:
+        base = (Variant.BASELINE, Variant.TC, Variant.CC)
+        return base + ((Variant.CCE,) if self.has_cce else ())
+
+    def resolve_variant(self, variant: Variant) -> Variant:
+        """Map CCE to CC for Quadrant I workloads (Section 5.2: 'for GEMM,
+        PiC, FFT, and Stencil the CC-E version is equivalent to CC')."""
+        if variant is Variant.CCE and not self.has_cce:
+            return Variant.CC
+        return variant
+
+    def run_case(self, variant: Variant, case: WorkloadCase, device: Device,
+                 seed: int = 1325) -> KernelResult:
+        """Convenience: prepare + execute the (down-scaled) case."""
+        data = self.prepare(self.exec_case(case), seed=seed)
+        return self.execute(variant, data, device)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name} (Quadrant {self.quadrant.value})>"
+
+
+# --------------------------------------------------------------- registry
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Register a workload instance under its class name."""
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> list[Workload]:
+    """All registered workloads in suite order."""
+    return list(_REGISTRY.values())
+
+
+def workload_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Essential flops of an m x n x k matrix multiplication."""
+    return 2.0 * m * n * k
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

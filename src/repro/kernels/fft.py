@@ -1,0 +1,212 @@
+"""FFT workload (Quadrant I, spectral methods dwarf).
+
+FP64 adaptation of tcFFT (Li et al., CLUSTER'21): batched 1-D complex FFTs
+where each radix-4 stage is evaluated as small complex matrix products —
+the 4-point DFT matrix is the reused *A* operand (loaded once, Figure 2's
+Quadrant I "reuse A" case) and the data blocks stream through as B.  Each
+complex product becomes four real MMAs, so the executed flop count exceeds
+the essential ``5 n log2 n`` — the redundancy behind the paper's finding
+that the TC FFT *underperforms* cuFFT (butterfly patterns resist the MMA
+shape), compounded by an extra data-layout pass for the 8x4 blocking.
+
+The baseline models cuFFT: a Stockham autosort radix-2 pipeline at vector
+efficiency with a single read/write pass through the batch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_fp64_batched
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    MLP_MMA_CC,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+)
+
+__all__ = ["FftWorkload", "dft_matrix"]
+
+#: paper batch size; functional execution uses a reduced batch
+BATCH = 2048
+BATCH_EXEC = 256
+
+
+def dft_matrix(r: int) -> np.ndarray:
+    """The r-point DFT matrix (complex128)."""
+    j, k = np.meshgrid(np.arange(r), np.arange(r), indexing="ij")
+    return np.exp(-2j * np.pi * j * k / r)
+
+
+class FftWorkload(Workload):
+    """Batched 1-D complex-to-complex FFTs (tcFFT vs cuFFT)."""
+
+    name = "fft"
+    quadrant = Quadrant.I
+    dwarf = "Spectral methods"
+    baseline_name = "cuFFT v12.8"
+    has_cce = False
+    edp_repeats = 400
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        shapes = ((256, 256), (256, 512), (256, 1024), (512, 256), (512, 512))
+        return [WorkloadCase(label=f"{a}x{b}",
+                             params={"n1": a, "n2": b, "batch": BATCH})
+                for a, b in shapes]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        # fold n2 into the batch and cap the signal count so the analytic
+        # stats of the exec case equal the executed counters exactly
+        p = dict(case.params)
+        p["batch"] = min(p["batch"] * p["n2"], BATCH_EXEC)
+        p["n2"] = 1
+        return WorkloadCase(label=case.label, params=p)
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        # an n1 x n2 case is evaluated as batch*n2 1-D transforms of length
+        # n1 (the row pass of tcFFT's 2-D decomposition); functional
+        # execution caps the signal count, the model uses the full product
+        n = case["n1"]
+        signals = min(case["batch"] * case["n2"], BATCH_EXEC)
+        rng = Lcg(seed)
+        re = rng.uniform(signals * n, shape=(signals, n))
+        im = rng.uniform(signals * n, shape=(signals, n))
+        return {"n": n, "n2": case["n2"], "batch": signals,
+                "x": re + 1j * im}
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Ground truth: recursive radix-2 decimation-in-time in natural
+        serial order (the textbook CPU implementation)."""
+        return self._radix2_dit(data["x"])
+
+    @classmethod
+    def _radix2_dit(cls, x: np.ndarray) -> np.ndarray:
+        n = x.shape[-1]
+        if n == 1:
+            return x.copy()
+        even = cls._radix2_dit(x[..., 0::2])
+        odd = cls._radix2_dit(x[..., 1::2])
+        tw = np.exp(-2j * np.pi * np.arange(n // 2) / n)
+        t = tw * odd
+        return np.concatenate([even + t, even - t], axis=-1)
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        variant = self.resolve_variant(variant)
+        x = data["x"]
+        if variant is Variant.BASELINE:
+            out = self._stockham_radix2(x)
+        else:
+            out = self._mma_radix4(x)
+        # counters reflect the executed signal count (n2 already folded in)
+        stats = self._stats(variant, data["n"], 1, data["batch"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _stockham_radix2(x: np.ndarray) -> np.ndarray:
+        """Baseline cuFFT stand-in: Stockham autosort radix-2."""
+        batch, n = x.shape
+        y = x.copy()
+        ell = 1  # transformed block length
+        while ell < n:
+            m = n // (2 * ell)
+            a = y.reshape(batch, 2, m, ell)
+            tw = np.exp(-2j * np.pi * np.arange(ell) / (2 * ell))
+            t = tw * a[:, 1]
+            y = np.concatenate([a[:, 0] + t, a[:, 0] - t],
+                               axis=-1).reshape(batch, n)
+            ell *= 2
+        return y
+
+    @classmethod
+    def _mma_radix4(cls, x: np.ndarray) -> np.ndarray:
+        """TC/CC path: Stockham radix-4 where every 4-point DFT is four
+        real matrix products through the MMA primitive (k-sequential)."""
+        batch, n = x.shape
+        stages = int(round(math.log(n, 4)))
+        if 4 ** stages != n:
+            # fall back to radix-2 head so n need only be a power of two
+            stages = 0
+        d4 = dft_matrix(4)
+        d4r, d4i = d4.real.copy(), d4.imag.copy()
+        y = x.copy()
+        ell = 1
+        while ell < n:
+            if n // ell >= 4 and (n // ell) % 4 == 0:
+                r = 4
+            else:
+                r = 2
+            m = n // (r * ell)
+            a = y.reshape(batch, r, m, ell)
+            tw = np.exp(-2j * np.pi
+                        * np.arange(r)[:, None] * np.arange(ell)[None, :]
+                        / (r * ell))
+            at = a * tw[None, :, None, :]
+            if r == 4:
+                # 4-point DFT as D4 @ at over the radix axis, done with four
+                # real MMA products: Yr = Dr Ar - Di Ai ; Yi = Dr Ai + Di Ar
+                flat = at.transpose(0, 2, 3, 1).reshape(-1, 4, 1)
+                ar, ai = flat.real.copy(), flat.imag.copy()
+                yr = mma_fp64_batched(d4r[np.newaxis], ar) \
+                    - mma_fp64_batched(d4i[np.newaxis], ai)
+                yi = mma_fp64_batched(d4r[np.newaxis], ai) \
+                    + mma_fp64_batched(d4i[np.newaxis], ar)
+                out = (yr + 1j * yi).reshape(batch, m, ell, r)
+                # Stockham layout: block j, then output index s, then k
+                y = out.transpose(0, 1, 3, 2).reshape(batch, n)
+            else:
+                t0, t1 = at[:, 0], at[:, 1]
+                y = np.concatenate([t0 + t1, t0 - t1],
+                                   axis=-1).reshape(batch, n)
+                y = y.reshape(batch, n)
+            ell *= r
+        return y
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        variant = self.resolve_variant(variant)
+        return self._stats(variant, case["n1"], case["n2"], case["batch"])
+
+    def _stats(self, variant: Variant, n: int, n2: int,
+               batch: int) -> KernelStats:
+        st = KernelStats()
+        points = float(batch) * n2 * n  # total complex samples
+        essential = 5.0 * points * math.log2(n)
+        st.essential_flops = essential
+        io_bytes = 16.0 * points  # complex128
+        if variant is Variant.BASELINE:
+            st.add_fma(essential)
+            st.cc_efficiency = CC_EFF
+            # single fused pass (smem-resident Stockham stages)
+            st.read_dram(io_bytes, segment_bytes=16 * n)
+            st.write_dram(io_bytes, segment_bytes=16 * n)
+            st.l1_bytes = io_bytes * math.log2(n)
+        else:
+            # four real m8n8k4 products per 4-point DFT of 4 samples
+            stages = math.log(n, 4)
+            mmas = stages * points / 4.0 * 4.0 / 8.0  # batched rows of 8
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas)
+                st.tc_efficiency = TC_EFF
+            else:
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+                st.mlp = MLP_MMA_CC
+            # extra pass: transform to/from the 8x4 block layout
+            st.read_dram(2.0 * io_bytes, segment_bytes=16 * 8)
+            st.write_dram(2.0 * io_bytes, segment_bytes=16 * 8)
+            st.l1_bytes = io_bytes * math.log2(n)
+        return st

@@ -1,0 +1,145 @@
+"""GEMM workload (Quadrant I, dense linear algebra dwarf).
+
+TC variant models the CUDA Samples ``dmmaTensorCoreGEMM`` routine: each
+thread block computes a 64x64 output tile with FP64 ``wmma m8n8k4``
+instructions, staging A/B panels through shared memory; adjacent blocks
+additionally share panel reloads through L2 (modeled as an effective reuse
+width of 128 columns/rows).  The baseline is the CUDA Samples ``matrixMul``
+shared-memory kernel (32x32 tiles on CUDA cores).  CC-E is identical to CC:
+a full GEMM has no MMA-induced redundancy (Section 5.2).
+
+Functional execution keeps the MMA accumulation-order contract: the TC and
+CC variants call the same k-sequential primitive and produce bit-identical
+outputs; the baseline accumulates in 32-wide k panels, a different rounding
+order (the Table 6 mechanism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_fp64_batched
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+    ceil_div,
+)
+
+__all__ = ["GemmWorkload"]
+
+#: thread-block output tile of the dmma sample
+TILE = 64
+#: effective panel-reuse width including L2-assisted sharing between
+#: adjacent blocks
+REUSE_TC = 128
+#: baseline matrixMul tile
+TILE_BASE = 32
+#: largest dimension executed functionally (larger cases are analytic-only)
+MAX_EXEC = 512
+
+
+class GemmWorkload(Workload):
+    """Dense matrix-matrix multiplication."""
+
+    name = "gemm"
+    quadrant = Quadrant.I
+    dwarf = "Dense linear algebra"
+    baseline_name = "cudaSample matrixMul v12.8"
+    has_cce = False
+    edp_repeats = 500
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        sizes = (256, 512, 1024, 2048, 4096)
+        return [WorkloadCase(label=f"{s}x{s}x{s}",
+                             params={"m": s, "n": s, "k": s})
+                for s in sizes]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        m = min(case["m"], MAX_EXEC)
+        n = min(case["n"], MAX_EXEC)
+        k = min(case["k"], MAX_EXEC)
+        return WorkloadCase(label=f"{m}x{n}x{k}",
+                            params={"m": m, "n": n, "k": k})
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        m, n, k = case["m"], case["n"], case["k"]
+        rng = Lcg(seed)
+        return {
+            "m": m, "n": n, "k": k,
+            "a": rng.uniform(m * k, shape=(m, k)),
+            "b": rng.uniform(k * n, shape=(k, n)),
+        }
+
+    def reference(self, data: dict) -> np.ndarray:
+        return data["a"] @ data["b"]
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        variant = self.resolve_variant(variant)
+        m, n, k = data["m"], data["n"], data["k"]
+        if variant is Variant.BASELINE:
+            out = self._gemm_kpanel(data["a"], data["b"], TILE_BASE)
+        else:
+            # TC and CC share the MMA primitive: k-sequential rank-1 updates
+            out = mma_fp64_batched(data["a"][np.newaxis],
+                                   data["b"][np.newaxis])[0]
+        stats = self._stats(variant, m, n, k)
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _gemm_kpanel(a: np.ndarray, b: np.ndarray, panel: int) -> np.ndarray:
+        """k-panel accumulation: the baseline's 32-wide shared-memory tiles
+        accumulate one BLAS panel product per step (distinct rounding order
+        from the MMA rank-1 chain)."""
+        m, k = a.shape
+        out = np.zeros((m, b.shape[1]))
+        for k0 in range(0, k, panel):
+            out += a[:, k0:k0 + panel] @ b[k0:k0 + panel]
+        return out
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        variant = self.resolve_variant(variant)
+        return self._stats(variant, case["m"], case["n"], case["k"])
+
+    def _stats(self, variant: Variant, m: int, n: int, k: int) -> KernelStats:
+        st = KernelStats()
+        flops = 2.0 * m * n * k
+        st.essential_flops = flops
+        c_bytes = 8.0 * m * n
+        if variant is Variant.BASELINE:
+            # 32x32 tiles: each A panel re-read n/32 times, B panel m/32
+            a_bytes = 8.0 * m * k * ceil_div(n, TILE_BASE)
+            b_bytes = 8.0 * k * n * ceil_div(m, TILE_BASE)
+            st.add_fma(flops)
+            st.cc_efficiency = CC_EFF
+        else:
+            # 64x64 wmma tiles with L2-assisted reuse across block pairs
+            a_bytes = 8.0 * m * k * ceil_div(n, REUSE_TC)
+            b_bytes = 8.0 * k * n * ceil_div(m, REUSE_TC)
+            mmas = ceil_div(m, 8) * ceil_div(n, 8) * ceil_div(k, 4)
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas)
+                st.tc_efficiency = TC_EFF
+            else:  # CC replacement: identical layout, FMA pipe
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+        st.read_dram(a_bytes, segment_bytes=8 * min(k, TILE))
+        st.read_dram(b_bytes, segment_bytes=8 * min(n, TILE))
+        st.write_dram(c_bytes, segment_bytes=8 * min(n, TILE))
+        # every DRAM byte passes the L1/shared level once; register blocking
+        # absorbs intra-tile reuse
+        st.l1_bytes = a_bytes + b_bytes + c_bytes
+        return st

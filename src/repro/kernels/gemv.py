@@ -1,0 +1,142 @@
+"""GEMV workload (Quadrant IV, dense linear algebra dwarf).
+
+The TC implementation follows Section 3: matrix ``A`` is partitioned into
+8x4 blocks, the vector ``x`` is broadcast into 4x8 blocks (every column of
+the B operand is the same x chunk), an FP64 ``mma_m8n8k4`` multiplies them,
+and only the *diagonal* of each 8x8 accumulator carries the result — an 8x
+computational redundancy that the full-output MMA imposes (full input,
+partial output).
+
+CC-E computes the essential ``y = A x`` with a lane-partial + tree-reduction
+per row (the natural vector-unit shape), and the baseline models cuBLAS
+GEMV's thread-per-row kernel, whose low thread count on these tall-skinny
+shapes (N = 16-32) leaves bandwidth unsaturated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    MLP_IRREGULAR,
+    MLP_MMA_CC,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+    ceil_div,
+)
+
+__all__ = ["GemvWorkload"]
+
+#: CC-E keeps the blocked layout but runs scalar dots; slightly fewer warps
+#: are available to stream A than in the TC version
+MLP_CCE = 0.92
+
+
+class GemvWorkload(Workload):
+    """Dense matrix-vector multiplication y = A @ x."""
+
+    name = "gemv"
+    quadrant = Quadrant.IV
+    dwarf = "Dense linear algebra"
+    baseline_name = "cuBLAS GEMV v12.8"
+    has_cce = True
+    edp_repeats = 6_000_000
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        shapes = ((4096, 16), (4096, 32), (11264, 16), (32768, 16),
+                  (40960, 16))
+        return [WorkloadCase(label=f"{m//1024}Kx{n}",
+                             params={"m": m, "n": n}) for m, n in shapes]
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        m, n = case["m"], case["n"]
+        rng = Lcg(seed)
+        return {"m": m, "n": n,
+                "a": rng.uniform(m * n, shape=(m, n)),
+                "x": rng.uniform(n)}
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Serial ground truth: strict left-to-right dot products."""
+        a, x = data["a"], data["x"]
+        y = np.zeros(a.shape[0])
+        for k in range(a.shape[1]):
+            y = y + a[:, k] * x[k]
+        return y
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        a, x = data["a"], data["x"]
+        m, n = data["m"], data["n"]
+        if variant in (Variant.TC, Variant.CC):
+            # diagonal of (A_tile @ X_tile): per row, the x chunks are
+            # consumed in k order — exactly the MMA chain's rounding
+            y = np.zeros(m)
+            for k in range(n):
+                y = y + a[:, k] * x[k]
+        elif variant is Variant.CCE:
+            y = self._lane_tree_dot(a, x, lanes=4)
+        else:  # baseline cuBLAS: two-lane partials then combine
+            y = self._lane_tree_dot(a, x, lanes=2)
+        stats = self._stats(variant, m, n)
+        return device.resolve(stats, output=y)
+
+    @staticmethod
+    def _lane_tree_dot(a: np.ndarray, x: np.ndarray, lanes: int
+                       ) -> np.ndarray:
+        """Strided lane partial sums followed by a binary tree combine —
+        the vector-unit reduction order (differs from the MMA chain)."""
+        m, n = a.shape
+        pad = ceil_div(n, lanes) * lanes
+        partial = np.zeros((m, lanes))
+        for k in range(pad):
+            if k < n:
+                partial[:, k % lanes] += a[:, k] * x[k]
+        w = lanes
+        while w > 1:
+            half = w // 2
+            partial[:, :half] += partial[:, half:w]
+            w = half
+        return partial[:, 0].copy()
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        return self._stats(variant, case["m"], case["n"])
+
+    def _stats(self, variant: Variant, m: int, n: int) -> KernelStats:
+        st = KernelStats()
+        essential = 2.0 * m * n
+        st.essential_flops = essential
+        a_bytes = 8.0 * m * n
+        mmas = ceil_div(m, 8) * ceil_div(n, 4)
+        if variant is Variant.TC:
+            st.add_mma_fp64(mmas, output_useful=8.0 * mmas)
+            st.tc_efficiency = TC_EFF
+        elif variant is Variant.CC:
+            st.add_mma_as_fma(mmas)
+            st.cc_efficiency = CC_EFF_MMA
+            st.mlp = MLP_MMA_CC
+        elif variant is Variant.CCE:
+            st.add_fma(essential)
+            st.cc_efficiency = CC_EFF
+            st.mlp = MLP_CCE
+        else:  # baseline: thread-per-row starves memory parallelism
+            st.add_fma(essential)
+            st.cc_efficiency = CC_EFF
+            st.mlp = MLP_IRREGULAR
+        st.read_dram(a_bytes, segment_bytes=8 * n)   # row-major streaming
+        st.read_dram(8.0 * n, segment_bytes=8 * n)   # x (tiny, cached)
+        st.write_dram(8.0 * m, segment_bytes=1 << 12)
+        st.l1_bytes = a_bytes + 8.0 * (m + n)
+        return st

@@ -1,0 +1,190 @@
+"""Particle-in-Cell workload (Quadrant I, N-body dwarf).
+
+FP64 adaptation of PiCTC (Mehta, 2019): one timestep of the Boris particle
+pusher over N charged particles in an electromagnetic field.  The TC
+version maps batches of particles into 8x4 / 4x8 blocks: the velocity
+rotation (the ``v' = v + v x t`` / ``v+ = v' x s`` steps) and the field
+interpolation become small matrix products on tensor cores, repeatedly
+loading particle blocks and accumulating into one result block (Figure 2's
+Quadrant I "accumulate into one C" case).  Table 2 gives no baseline for
+PiC, so the workload exposes only the TC and CC variants.
+
+Physics per particle and timestep (Boris, 1970):
+
+    v-  = v + (q dt / 2m) E
+    t   = (q dt / 2m) B ;  s = 2 t / (1 + |t|^2)
+    v'  = v- + v- x t
+    v+  = v- + v' x s
+    v_new = v+ + (q dt / 2m) E ;  x_new = x + dt v_new
+
+The E and B fields are gathered from a small periodic grid by nearest-cell
+lookup (the grid stays cache resident, as in the original's field-block
+reuse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_fp64_batched
+from .base import (
+    CC_EFF_MMA,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+)
+
+__all__ = ["PicWorkload"]
+
+#: field grid edge (cells); small enough to live in L2
+GRID = 32
+#: charge-to-mass half-step factor q dt / 2m
+QDT2M = 0.05
+#: timestep
+DT = 0.01
+#: largest particle count executed functionally
+MAX_EXEC = 1 << 17
+
+#: executed flops per particle in the MMA-blocked pusher: the trilinear
+#: field-interpolation weight products (8 cells x 3 components x E and B,
+#: padded into 8x4 blocks) plus the rotation matmuls, each padded to the
+#: full MMA shape
+FLOPS_MMA_PER_PARTICLE = 1200.0
+#: mathematically essential flops per particle (interpolation + push)
+FLOPS_ESSENTIAL_PER_PARTICLE = 280.0
+#: particle state traffic: position + velocity read and written (6+6
+#: doubles), field gathers served from cache
+BYTES_PER_PARTICLE = 96.0
+
+
+class PicWorkload(Workload):
+    """One Boris-push timestep over N particles."""
+
+    name = "pic"
+    quadrant = Quadrant.I
+    dwarf = "N-Body"
+    baseline_name = "-"
+    has_cce = False
+    edp_repeats = 60
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        sizes = (1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20)
+        labels = ("64K", "128K", "256K", "512K", "1M")
+        return [WorkloadCase(label=lab, params={"n": n})
+                for lab, n in zip(labels, sizes)]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        n = min(case["n"], MAX_EXEC)
+        return WorkloadCase(label=case.label, params={"n": n})
+
+    def variants(self) -> tuple[Variant, ...]:
+        # Table 2 lists no PiC baseline
+        return (Variant.TC, Variant.CC)
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        n = case["n"]
+        rng = Lcg(seed)
+        pos = rng.uniform(3 * n, 0.0, float(GRID), shape=(n, 3))
+        vel = rng.uniform(3 * n, shape=(n, 3))
+        e_field = rng.uniform(3 * GRID ** 3, shape=(GRID, GRID, GRID, 3))
+        b_field = rng.uniform(3 * GRID ** 3, shape=(GRID, GRID, GRID, 3))
+        return {"n": n, "pos": pos, "vel": vel,
+                "e": e_field, "b": b_field}
+
+    @staticmethod
+    def _gather_fields(data: dict) -> tuple[np.ndarray, np.ndarray]:
+        cell = (data["pos"].astype(np.int64)) % GRID
+        e = data["e"][cell[:, 0], cell[:, 1], cell[:, 2]]
+        b = data["b"][cell[:, 0], cell[:, 1], cell[:, 2]]
+        return e, b
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Serial-order Boris push: cross products expanded term by term
+        in the canonical order; returns hstack(pos, vel)."""
+        e, b = self._gather_fields(data)
+        v = data["vel"]
+        vm = v + QDT2M * e
+        t = QDT2M * b
+        t2 = t[:, 0] * t[:, 0] + t[:, 1] * t[:, 1] + t[:, 2] * t[:, 2]
+        s = 2.0 * t / (1.0 + t2)[:, np.newaxis]
+        vp = vm + self._cross_serial(vm, t)
+        vplus = vm + self._cross_serial(vp, s)
+        v_new = vplus + QDT2M * e
+        x_new = data["pos"] + DT * v_new
+        return np.hstack([x_new, v_new])
+
+    @staticmethod
+    def _cross_serial(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.stack([
+            a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1],
+            a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2],
+            a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0],
+        ], axis=1)
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        variant = self.resolve_variant(variant)
+        e, b = self._gather_fields(data)
+        v = data["vel"]
+        vm = v + QDT2M * e
+        t = QDT2M * b
+        t2 = t[:, 0] * t[:, 0] + t[:, 1] * t[:, 1] + t[:, 2] * t[:, 2]
+        s = 2.0 * t / (1.0 + t2)[:, np.newaxis]
+        # the rotations v x t as matrix products: for each particle build
+        # the skew-symmetric matrix of t (padded into the 4-wide MMA k dim)
+        # and multiply the velocity row through the MMA primitive
+        vp = vm + self._cross_mma(vm, t)
+        vplus = vm + self._cross_mma(vp, s)
+        v_new = vplus + QDT2M * e
+        x_new = data["pos"] + DT * v_new
+        out = np.hstack([x_new, v_new])
+        stats = self._stats(variant, data["n"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _cross_mma(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """a x b as batched vector-matrix products through the MMA
+        primitive: a(1x4, padded) @ skew(b)(4x4, padded) per particle
+        block, with the k-sequential accumulation order."""
+        n = a.shape[0]
+        # standard skew(b): a @ skew(b) = skew(b)^T a = -(b x a) = a x b
+        skew = np.zeros((n, 4, 4))
+        skew[:, 1, 2] = -b[:, 0]
+        skew[:, 2, 1] = b[:, 0]
+        skew[:, 2, 0] = -b[:, 1]
+        skew[:, 0, 2] = b[:, 1]
+        skew[:, 0, 1] = -b[:, 2]
+        skew[:, 1, 0] = b[:, 2]
+        row = np.zeros((n, 1, 4))
+        row[:, 0, :3] = a
+        return mma_fp64_batched(row, skew)[:, 0, :3]
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        variant = self.resolve_variant(variant)
+        return self._stats(variant, case["n"])
+
+    def _stats(self, variant: Variant, n: int) -> KernelStats:
+        st = KernelStats()
+        st.essential_flops = FLOPS_ESSENTIAL_PER_PARTICLE * n
+        mmas = FLOPS_MMA_PER_PARTICLE * n / 512.0
+        if variant is Variant.TC:
+            st.add_mma_fp64(mmas)
+            st.tc_efficiency = TC_EFF
+        else:
+            st.add_mma_as_fma(mmas)
+            st.cc_efficiency = CC_EFF_MMA
+        st.read_dram(BYTES_PER_PARTICLE / 2 * n, segment_bytes=1 << 12)
+        st.write_dram(BYTES_PER_PARTICLE / 2 * n, segment_bytes=1 << 12)
+        # field gathers come from the cache-resident grid
+        st.l1_bytes = (BYTES_PER_PARTICLE + 48.0) * n
+        return st

@@ -1,0 +1,200 @@
+"""Reduction workload (Quadrant III, MapReduce dwarf).
+
+FP64 adaptation of Dakkak et al.'s tensor-core segmented reduction (ICS'19).
+Each segment of the input is consumed as 8x4 value tiles; a *constant*
+operand ``A1`` (a single row of ones, never loaded from memory) turns each
+MMA into a column-summing step chained through the 8x8 accumulator:
+
+    C = A1 @ V_t + C        for every tile t of the segment
+
+after which only row 0 of C carries the eight column partials, folded by a
+second constant-matrix multiply — partial input (constants), partial output
+(one row, ultimately one element): Quadrant III.
+
+The baseline models CUB ``BlockReduce``: 32-lane strided partials followed
+by a shuffle tree per segment.  Test cases sweep the segment size 64..1024
+(Table 2) over a fixed large array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_m8n8k4_batched
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    TC_EFF_CONST,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+    ceil_div,
+)
+
+__all__ = ["ReductionWorkload", "A1_CONSTANT"]
+
+#: the constant A operand: row 0 of ones sums the four rows of each V tile
+A1_CONSTANT = np.zeros((8, 4))
+A1_CONSTANT[0, :] = 1.0
+A1_CONSTANT.setflags(write=False)
+
+#: total array length at paper scale and for functional execution
+N_TOTAL = 1 << 24
+N_EXEC = 1 << 20
+
+#: block-synchronous tree baselines leave bandwidth idle between stages
+MLP_TREE_BASELINE = 0.75
+#: the CC replacement serializes each MMA into dependent FMA chains that
+#: cannot overlap loads — the paper's "CC does not leverage constant
+#: operands as much as tensor cores" (Section 6.2)
+MLP_CC_CONST = 0.40
+
+
+class ReductionWorkload(Workload):
+    """Segmented sum reduction."""
+
+    name = "reduction"
+    quadrant = Quadrant.III
+    dwarf = "MapReduce"
+    baseline_name = "CUB BlockReduce v2.7.0"
+    has_cce = True
+    edp_repeats = 50_000
+
+    def __init__(self, n_total: int = N_TOTAL, n_exec: int = N_EXEC) -> None:
+        self.n_total = n_total
+        self.n_exec = n_exec
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        return [WorkloadCase(label=str(seg),
+                             params={"segment": seg, "n": self.n_total})
+                for seg in (64, 128, 256, 512, 1024)]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        return WorkloadCase(label=case.label,
+                            params={"segment": case["segment"],
+                                    "n": min(case["n"], self.n_exec)})
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        n, seg = case["n"], case["segment"]
+        rng = Lcg(seed)
+        return {"n": n, "segment": seg,
+                "x": rng.uniform(n, shape=(n // seg, seg))}
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Strict left-to-right serial sum per segment."""
+        x = data["x"]
+        out = np.zeros(x.shape[0])
+        for k in range(x.shape[1]):
+            out = out + x[:, k]
+        return out
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        x = data["x"]
+        if variant in (Variant.TC, Variant.CC):
+            out = self._mma_reduce(x)
+        elif variant is Variant.CCE:
+            out = self._pairwise_reduce(x)
+        else:
+            out = self._cub_block_reduce(x)
+        stats = self._stats(variant, data["n"], data["segment"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _mma_reduce(x: np.ndarray) -> np.ndarray:
+        """TC/CC path: chained constant-operand MMAs, then the k-ordered
+        fold of the eight row-0 partials."""
+        nseg, seg = x.shape
+        tiles = ceil_div(seg, 32)
+        pad = tiles * 32
+        v = np.zeros((nseg, pad))
+        v[:, :seg] = x
+        # tile t of a segment is elements [32t, 32t+32) as a 4x8 block
+        v = v.reshape(nseg, tiles, 4, 8)
+        acc = np.zeros((nseg, 8, 8))
+        a1 = np.broadcast_to(A1_CONSTANT, (nseg, 8, 4))
+        for t in range(tiles):
+            acc = mma_m8n8k4_batched(a1, v[:, t], acc)
+        # final fold: row 0 holds 8 column partials, combined in k order
+        out = np.zeros(nseg)
+        for j in range(8):
+            out = out + acc[:, 0, j]
+        return out
+
+    @staticmethod
+    def _pairwise_reduce(x: np.ndarray) -> np.ndarray:
+        """CC-E path: a binary pairwise tree over each segment."""
+        nseg, seg = x.shape
+        width = 1
+        while width < seg:
+            width *= 2
+        v = np.zeros((nseg, width))
+        v[:, :seg] = x
+        while width > 1:
+            half = width // 2
+            v = v[:, :half] + v[:, half:width]
+            width = half
+        return v[:, 0].copy()
+
+    @staticmethod
+    def _cub_block_reduce(x: np.ndarray, lanes: int = 32) -> np.ndarray:
+        """Baseline: 32 strided lane partials, then a shuffle tree."""
+        nseg, seg = x.shape
+        partial = np.zeros((nseg, lanes))
+        for k in range(ceil_div(seg, lanes) * lanes):
+            if k < seg:
+                partial[:, k % lanes] += x[:, k]
+        w = lanes
+        while w > 1:
+            half = w // 2
+            partial[:, :half] += partial[:, half:w]
+            w = half
+        return partial[:, 0].copy()
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        return self._stats(variant, case["n"], case["segment"])
+
+    def _stats(self, variant: Variant, n: int, seg: int) -> KernelStats:
+        st = KernelStats()
+        nseg = n // seg
+        st.essential_flops = float(n)  # one add per element
+        tiles_per_seg = ceil_div(seg, 32)
+        mmas = nseg * (tiles_per_seg + 1)  # +1 for the final fold
+        if variant in (Variant.TC, Variant.CC):
+            useful_in = mmas * (32 + 4.0)     # V tile + the ones row of A1
+            useful_out = mmas * 8.0           # row 0 only
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas, input_useful=useful_in,
+                                output_useful=useful_out)
+                st.tc_efficiency = TC_EFF_CONST
+            else:
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+                st.mlp = MLP_CC_CONST
+        elif variant is Variant.CCE:
+            st.add_fma(float(n))
+            st.cc_efficiency = CC_EFF
+            # the pairwise tree stalls at each of its log-depth sync points
+            st.mlp = 0.75
+        else:
+            st.add_fma(float(n))
+            st.cc_efficiency = CC_EFF
+            st.mlp = MLP_TREE_BASELINE
+            # shuffle-tree stages serialize each block
+            st.serial_stages = max(int(np.log2(seg)), 1)
+        st.read_dram(8.0 * n, segment_bytes=1 << 16)
+        st.write_dram(8.0 * nseg, segment_bytes=1 << 12)
+        st.l1_bytes = 8.0 * (n + nseg)
+        if variant is Variant.BASELINE:
+            # inter-warp partials bounce through shared memory per stage
+            st.l1_bytes += 16.0 * n
+        return st

@@ -1,0 +1,209 @@
+"""Scan workload (Quadrant II, MapReduce dwarf).
+
+FP64 adaptation of Dakkak et al.'s tensor-core segmented scan (ICS'19).
+Each 64-element block V (8x8, row-major) becomes an inclusive prefix sum
+with three constant-matrix multiplications (the paper's B1 / A2 / B3):
+
+    P = V @ U          row-wise prefixes   (U: upper-triangular ones)
+    O = L @ (V @ J)    per-row offsets     (L: strictly-lower ones,
+                                            J: all ones)
+    scan(V) = P + O
+
+None of the constants is loaded from memory (partial input), but every
+element of the output matrix is used (full output): Quadrant II.  Block
+offsets chain sequentially within a segment.
+
+The baseline models CUB ``BlockScan``: a work-efficient Blelloch up/down
+sweep, whose log-depth stages bounce partials through shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_fp64_batched
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    TC_EFF_CONST,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+    ceil_div,
+)
+from .reduction import MLP_CC_CONST, MLP_TREE_BASELINE
+
+__all__ = ["ScanWorkload", "UPPER_ONES", "LOWER_STRICT_ONES", "ALL_ONES"]
+
+UPPER_ONES = np.triu(np.ones((8, 8)))
+UPPER_ONES.setflags(write=False)
+LOWER_STRICT_ONES = np.tril(np.ones((8, 8)), k=-1)
+LOWER_STRICT_ONES.setflags(write=False)
+ALL_ONES = np.ones((8, 8))
+ALL_ONES.setflags(write=False)
+
+N_TOTAL = 1 << 24
+N_EXEC = 1 << 20
+
+
+class ScanWorkload(Workload):
+    """Segmented inclusive prefix sum."""
+
+    name = "scan"
+    quadrant = Quadrant.II
+    dwarf = "MapReduce"
+    baseline_name = "CUB BlockScan v2.7.0"
+    has_cce = True
+    edp_repeats = 25_000
+
+    def __init__(self, n_total: int = N_TOTAL, n_exec: int = N_EXEC) -> None:
+        self.n_total = n_total
+        self.n_exec = n_exec
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        return [WorkloadCase(label=str(seg),
+                             params={"segment": seg, "n": self.n_total})
+                for seg in (64, 128, 256, 512, 1024)]
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        return WorkloadCase(label=case.label,
+                            params={"segment": case["segment"],
+                                    "n": min(case["n"], self.n_exec)})
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        n, seg = case["n"], case["segment"]
+        rng = Lcg(seed)
+        return {"n": n, "segment": seg,
+                "x": rng.uniform(n, shape=(n // seg, seg))}
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Strict left-to-right serial running sum per segment."""
+        x = data["x"]
+        out = np.empty_like(x)
+        acc = np.zeros(x.shape[0])
+        for k in range(x.shape[1]):
+            acc = acc + x[:, k]
+            out[:, k] = acc
+        return out
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        x = data["x"]
+        if variant in (Variant.TC, Variant.CC):
+            out = self._mma_scan(x)
+        elif variant is Variant.CCE:
+            out = self._hillis_steele_scan(x)
+        else:
+            out = self._blelloch_scan(x)
+        stats = self._stats(variant, data["n"], data["segment"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _mma_scan(x: np.ndarray) -> np.ndarray:
+        """TC/CC path: the three constant-matrix MMAs per 64-element block,
+        then a sequential chain of block offsets within each segment."""
+        nseg, seg = x.shape
+        blocks = ceil_div(seg, 64)
+        pad = blocks * 64
+        v = np.zeros((nseg, pad))
+        v[:, :seg] = x
+        v = v.reshape(nseg, blocks, 8, 8)
+        p = mma_fp64_batched(v, np.broadcast_to(UPPER_ONES, v.shape))
+        rowsum = mma_fp64_batched(v, np.broadcast_to(ALL_ONES, v.shape))
+        offs = mma_fp64_batched(np.broadcast_to(LOWER_STRICT_ONES, v.shape),
+                                rowsum)
+        blk = p + offs                                  # in-block scan
+        # chain block offsets sequentially (the segmented part)
+        out = np.empty((nseg, blocks, 8, 8))
+        carry = np.zeros(nseg)
+        for b in range(blocks):
+            out[:, b] = blk[:, b] + carry[:, np.newaxis, np.newaxis]
+            carry = carry + blk[:, b, 7, 7]
+        return out.reshape(nseg, pad)[:, :seg].copy()
+
+    @staticmethod
+    def _hillis_steele_scan(x: np.ndarray) -> np.ndarray:
+        """CC-E path: Hillis-Steele inclusive scan (log-depth, no
+        redundancy removal possible beyond dropping the MMA padding)."""
+        out = x.copy()
+        d = 1
+        while d < x.shape[1]:
+            out[:, d:] = out[:, d:] + out[:, :-d]
+            d *= 2
+        return out
+
+    @staticmethod
+    def _blelloch_scan(x: np.ndarray) -> np.ndarray:
+        """Baseline CUB-style work-efficient up-sweep/down-sweep."""
+        nseg, seg = x.shape
+        width = 1
+        while width < seg:
+            width *= 2
+        v = np.zeros((nseg, width))
+        v[:, :seg] = x
+        # up-sweep
+        d = 1
+        while d < width:
+            idx = np.arange(2 * d - 1, width, 2 * d)
+            v[:, idx] += v[:, idx - d]
+            d *= 2
+        # down-sweep (exclusive), then shift to inclusive by adding input
+        v[:, -1] = 0.0
+        d = width // 2
+        while d >= 1:
+            idx = np.arange(2 * d - 1, width, 2 * d)
+            left = v[:, idx - d].copy()
+            v[:, idx - d] = v[:, idx]
+            v[:, idx] += left
+            d //= 2
+        exclusive = v[:, :seg]
+        return exclusive + x
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        return self._stats(variant, case["n"], case["segment"])
+
+    def _stats(self, variant: Variant, n: int, seg: int) -> KernelStats:
+        st = KernelStats()
+        nseg = n // seg
+        st.essential_flops = float(n)  # ~1 add per element (work-efficient)
+        blocks = nseg * ceil_div(seg, 64)
+        mmas = blocks * 3 * 2          # three 8x8x8 products = 2 MMAs each
+        if variant in (Variant.TC, Variant.CC):
+            # constant operand not loaded: half the input fragments useful
+            useful_in = mmas * 32.0
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas, input_useful=useful_in)
+                st.tc_efficiency = TC_EFF_CONST
+            else:
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+                st.mlp = MLP_CC_CONST
+        elif variant is Variant.CCE:
+            st.add_fma(float(n) * np.log2(max(seg, 2)))  # Hillis-Steele work
+            st.cc_efficiency = CC_EFF
+            # log-depth dependent sweeps leave DRAM idle between phases —
+            # the same starvation the CC constant-operand variants show
+            st.mlp = MLP_CC_CONST
+        else:
+            st.add_fma(2.0 * n)        # Blelloch: ~2 adds per element
+            st.cc_efficiency = CC_EFF
+            st.mlp = MLP_TREE_BASELINE
+            st.serial_stages = max(2 * int(np.log2(seg)), 1)
+        st.read_dram(8.0 * n, segment_bytes=1 << 16)
+        st.write_dram(8.0 * n, segment_bytes=1 << 16)
+        st.l1_bytes = 16.0 * n
+        if variant is Variant.BASELINE:
+            st.l1_bytes += 24.0 * n    # up+down sweeps through shared memory
+        elif variant is Variant.CCE:
+            # every Hillis-Steele pass re-touches the block in shared memory
+            st.l1_bytes += 8.0 * n * np.log2(max(seg, 2))
+        return st

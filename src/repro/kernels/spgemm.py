@@ -1,0 +1,245 @@
+"""SpGEMM workload (Quadrant IV, sparse linear algebra dwarf).
+
+The TC implementation follows AmgT (Lu et al., SC'24): both operands are
+stored as mBSR 4x4 blocks (:class:`repro.sparse.mbsr.MbsrMatrix`); block
+pairs stack into 8x4 MMA operands so one ``mma_m8n8k4`` evaluates four
+4x4 block products, and results accumulate into the *diagonal 4x4 tiles*
+of the 8x8 output — full input, half-useful output (Quadrant IV, "slightly
+higher utilization" per Figure 2).
+
+The baseline models cuSPARSE SpGEMM's expand-sort-compress pipeline on
+scalar CSR entries (irregular gathers, pairwise compaction sums).  CC-E
+performs the essential scalar block products on the mBSR layout with a
+tree-ordered k accumulation.
+
+Functional execution computes C = A @ A on the Table 4 matrices at a
+reduced ``scale`` (full-scale block expansion exceeds a Python session's
+memory budget; the analytic path runs symbolically at any scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.suitesparse import SPMV_MATRICES, generate_matrix
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_fp64_batched
+from ..sparse.csr import CsrMatrix
+from ..sparse.mbsr import BLOCK, MbsrMatrix
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    MLP_IRREGULAR,
+    MLP_MMA_CC,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+)
+
+__all__ = ["SpgemmWorkload", "accumulate_sequential"]
+
+#: default matrix scale for functional execution
+EXEC_SCALE = 0.25
+#: block products processed per expansion chunk
+CHUNK = 1 << 19
+#: fraction of repeated B-block reads that miss L2 (mBSR streams block
+#: rows in 128-byte units with good spatial reuse)
+TC_REUSE = 0.70
+#: fraction of the baseline's scalar B-row re-reads that miss L2 (the
+#: expand phase revisits rows hash-scattered, but hot rows stay cached)
+BASE_REUSE = 0.15
+
+
+def accumulate_sequential(keys: np.ndarray, vals: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``vals`` grouped by sorted ``keys`` with a strictly sequential
+    (first-to-last) accumulation order per group — the CPU-serial
+    reference order for SpGEMM.  ``keys`` must already be sorted."""
+    if len(keys) == 0:
+        return keys, vals
+    uniq_mask = np.r_[True, keys[1:] != keys[:-1]]
+    group = np.cumsum(uniq_mask) - 1
+    n_groups = int(group[-1]) + 1
+    within = np.arange(len(keys)) - np.flatnonzero(uniq_mask)[group]
+    out = np.zeros(n_groups)
+    max_dup = int(within.max()) + 1
+    for i in range(max_dup):
+        sel = within == i
+        out[group[sel]] += vals[sel]
+    return keys[uniq_mask], out
+
+
+class SpgemmWorkload(Workload):
+    """Sparse matrix-matrix multiplication C = A @ A (AmgT vs cuSPARSE)."""
+
+    name = "spgemm"
+    quadrant = Quadrant.IV
+    dwarf = "Sparse linear algebra"
+    baseline_name = "cuSPARSE SpGEMM v12.8"
+    has_cce = True
+    edp_repeats = 5_000
+
+    def __init__(self, scale: float = 1.0,
+                 exec_scale: float = EXEC_SCALE) -> None:
+        self.scale = scale
+        self.exec_scale = exec_scale
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        return [WorkloadCase(label=m.name, params={"matrix": m.name})
+                for m in SPMV_MATRICES]
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        a = generate_matrix(case["matrix"], scale=self.exec_scale, seed=seed)
+        return {"a": a, "mbsr": MbsrMatrix.from_csr(a)}
+
+    def reference(self, data: dict) -> CsrMatrix:
+        """Serial ground truth: scalar expansion in row-k order with
+        strictly sequential duplicate accumulation."""
+        a: CsrMatrix = data["a"]
+        rows, cols, vals = self._expand_scalar(a, a)
+        key = rows * np.int64(a.n_cols) + cols
+        order = np.argsort(key, kind="stable")
+        keys_u, sums = accumulate_sequential(key[order], vals[order])
+        return CsrMatrix.from_coo(keys_u // a.n_cols, keys_u % a.n_cols,
+                                  sums, (a.n_rows, a.n_cols),
+                                  sum_duplicates=False)
+
+    @staticmethod
+    def _expand_scalar(a: CsrMatrix, b: CsrMatrix
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All scalar products of A @ B in (row of A, k) order."""
+        b_len = b.row_lengths()
+        a_rows = a.row_of_entry()
+        expand = b_len[a.indices]
+        prod_row = np.repeat(a_rows, expand)
+        prod_aval = np.repeat(a.data, expand)
+        b_start = np.repeat(b.indptr[a.indices], expand)
+        within = np.arange(len(prod_row), dtype=np.int64)
+        seg_begin = np.repeat(np.cumsum(expand) - expand, expand)
+        b_pos = b_start + (within - seg_begin)
+        return prod_row, b.indices[b_pos], prod_aval * b.data[b_pos]
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        a: CsrMatrix = data["a"]
+        if variant is Variant.BASELINE:
+            out = a.spgemm(a)
+        else:
+            out = self._block_spgemm(data["mbsr"],
+                                     tree=(variant is Variant.CCE))
+        stats = self._stats(variant, a, data["mbsr"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _block_products(m: MbsrMatrix
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Block-level expansion of C = M @ M: for every pair of blocks
+        (i,k) x (k,j) returns (out block row, out block col, A block index,
+        B block index)."""
+        b_len = np.diff(m.block_indptr)
+        a_brow = m.block_row_of_block()
+        expand = b_len[m.block_indices]
+        prod_brow = np.repeat(a_brow, expand)
+        prod_ablk = np.repeat(np.arange(m.n_blocks, dtype=np.int64), expand)
+        b_start = np.repeat(m.block_indptr[m.block_indices], expand)
+        within = np.arange(len(prod_brow), dtype=np.int64)
+        seg_begin = np.repeat(np.cumsum(expand) - expand, expand)
+        b_pos = b_start + (within - seg_begin)
+        return prod_brow, m.block_indices[b_pos], prod_ablk, b_pos
+
+    def _block_spgemm(self, m: MbsrMatrix, tree: bool) -> CsrMatrix:
+        """TC/CC (``tree=False``) or CC-E (``tree=True``) block SpGEMM."""
+        brow, bcol, ablk, bblk = self._block_products(m)
+        nbc = m.n_block_cols + 1
+        key = brow * np.int64(nbc) + bcol
+        order = np.argsort(key, kind="stable")
+        key, ablk, bblk = key[order], ablk[order], bblk[order]
+        uniq_mask = np.r_[True, key[1:] != key[:-1]] if len(key) else \
+            np.empty(0, dtype=bool)
+        group = np.cumsum(uniq_mask) - 1 if len(key) else key
+        n_out = int(group[-1]) + 1 if len(key) else 0
+        acc = np.zeros((n_out, BLOCK, BLOCK))
+        within = (np.arange(len(key), dtype=np.int64)
+                  - np.flatnonzero(uniq_mask)[group]) if len(key) else key
+        max_dup = int(within.max()) + 1 if len(key) else 0
+        for i in range(max_dup):
+            sel = within == i
+            if not sel.any():
+                continue
+            lhs = m.blocks[ablk[sel]]
+            rhs = m.blocks[bblk[sel]]
+            if tree:
+                # essential path: k pairs combined by a binary tree
+                prods = lhs[:, :, :, np.newaxis] * rhs[:, np.newaxis, :, :]
+                prods = np.swapaxes(prods, 2, 3)  # (p, i, j, k)
+                step = (prods[..., 0] + prods[..., 2]) \
+                    + (prods[..., 1] + prods[..., 3])
+                acc[group[sel]] += step
+            else:
+                acc[group[sel]] = mma_fp64_batched(lhs, rhs, acc[group[sel]])
+        # expand accumulated blocks back to scalar CSR
+        out_key = key[uniq_mask] if len(key) else key
+        out_brow = out_key // nbc
+        out_bcol = out_key % nbc
+        nz = np.nonzero(acc.reshape(n_out, -1))
+        blk_idx, cell = nz
+        li, lj = np.divmod(cell, BLOCK)
+        rows = out_brow[blk_idx] * BLOCK + li
+        cols = out_bcol[blk_idx] * BLOCK + lj
+        vals = acc[blk_idx, li, lj]
+        keep = (rows < m.shape[0]) & (cols < m.shape[1])
+        return CsrMatrix.from_coo(rows[keep], cols[keep], vals[keep],
+                                  m.shape, sum_duplicates=False)
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        a = generate_matrix(case["matrix"], scale=self.scale)
+        return self._stats(variant, a, MbsrMatrix.from_csr(a))
+
+    def _stats(self, variant: Variant, a: CsrMatrix,
+               m: MbsrMatrix) -> KernelStats:
+        st = KernelStats()
+        # scalar expansion size (essential multiply-adds)
+        b_len = a.row_lengths()
+        scalar_products = float(b_len[a.indices].sum())
+        st.essential_flops = 2.0 * scalar_products
+        # block expansion size
+        blk_len = np.diff(m.block_indptr)
+        block_products = float(blk_len[m.block_indices].sum())
+        c_bytes_est = 12.0 * min(scalar_products, float(a.n_rows) * 512)
+        if variant is Variant.BASELINE:
+            st.add_fma(2.0 * scalar_products)
+            st.cc_efficiency = CC_EFF
+            st.mlp = MLP_IRREGULAR
+            # expand: A streams once; every product gathers one B entry
+            st.read_dram(12.0 * a.nnz, segment_bytes=1 << 12)
+            st.read_dram(12.0 * scalar_products * BASE_REUSE,
+                         segment_bytes=12)
+        else:
+            block_bytes = BLOCK * BLOCK * 8.0 + 12.0   # payload + indices
+            # one 8x4 x 4x8 MMA evaluates 4 quadrant products of which the
+            # two diagonal tiles are consumed ("half of the 8x8 output")
+            mmas = block_products / 2.0
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas, output_useful=32.0 * mmas)
+                st.tc_efficiency = TC_EFF
+            elif variant is Variant.CC:
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+                st.mlp = MLP_MMA_CC
+            else:  # CC-E: the 4x4x4 block products without the MMA padding
+                st.add_fma(2.0 * block_products * BLOCK ** 3)
+                st.cc_efficiency = CC_EFF
+            st.read_dram(block_bytes * m.n_blocks, segment_bytes=128)
+            st.read_dram(block_bytes * block_products * TC_REUSE,
+                         segment_bytes=128)
+        st.write_dram(c_bytes_est, segment_bytes=1 << 10)
+        st.l1_bytes = 16.0 * scalar_products
+        return st

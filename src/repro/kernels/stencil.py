@@ -1,0 +1,198 @@
+"""Stencil workload (Quadrant I, structured grids dwarf).
+
+Follows LoRAStencil (Zhang et al., SC'24) in FP64: the stencil weight
+matrix is decomposed into low-rank components so the update becomes small
+dense matmuls whose *B* operand (the decomposed weights) is loaded once from
+constant memory and reused for every tile — the Quadrant I "reuse B" case of
+Figure 2.  For the star-shaped order-1 stencils of Table 2 the weight
+matrix is exactly rank-2 (a row pass plus a column pass), which the
+functional path evaluates with the MMA accumulation-order contract.
+
+The baseline models DRStencil (You et al., HPCC'21): a register-reuse
+vector stencil whose halo rows are re-read from DRAM (imperfect inter-block
+reuse), costing roughly (2r+1) passes over the grid per sweep.
+
+Test cases: star2d1r on 1K/5K/10K square grids, star3d1r on 512 and 1K
+slabs (n x n x 64 — the third dimension is fixed at a slab depth that keeps
+functional execution tractable; the timing model scales linearly in it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.synthetic import Lcg
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device, KernelResult
+from .base import (
+    CC_EFF,
+    CC_EFF_MMA,
+    MLP_MMA_CC,
+    TC_EFF,
+    Quadrant,
+    Variant,
+    Workload,
+    WorkloadCase,
+)
+
+__all__ = ["StencilWorkload", "STAR2D1R_WEIGHTS", "STAR3D1R_WEIGHTS"]
+
+#: star2d1r weights: center, +-x, +-y
+STAR2D1R_WEIGHTS = (0.5, 0.12, 0.13)
+#: star3d1r weights: center, +-x, +-y, +-z
+STAR3D1R_WEIGHTS = (0.4, 0.09, 0.10, 0.11)
+#: slab depth used for the 3-D cases
+SLAB = 64
+#: largest 2-D grid edge executed functionally
+MAX_EXEC_2D = 2048
+
+
+class StencilWorkload(Workload):
+    """Order-1 star stencil sweeps (LoRAStencil vs DRStencil)."""
+
+    name = "stencil"
+    quadrant = Quadrant.I
+    dwarf = "Structured grids"
+    baseline_name = "DRStencil"
+    has_cce = False
+    edp_repeats = 5_000
+
+    # ------------------------------------------------------------------
+    def cases(self) -> list[WorkloadCase]:
+        cases = []
+        for n in (1024, 5120, 10240):
+            cases.append(WorkloadCase(
+                label=f"star2d1r:{n//1024}Kx{n//1024}K",
+                params={"kind": "star2d1r", "nx": n, "ny": n, "nz": 1}))
+        for n in (512, 1024):
+            cases.append(WorkloadCase(
+                label=f"star3d1r:{n}x{n}",
+                params={"kind": "star3d1r", "nx": n, "ny": n, "nz": SLAB}))
+        return cases
+
+    def exec_case(self, case: WorkloadCase) -> WorkloadCase:
+        p = dict(case.params)
+        p["nx"] = min(p["nx"], MAX_EXEC_2D)
+        p["ny"] = min(p["ny"], MAX_EXEC_2D)
+        if p["kind"] == "star3d1r":
+            p["nz"] = min(p["nz"], 16)
+        return WorkloadCase(label=case.label, params=p)
+
+    # ------------------------------------------------------------------
+    def prepare(self, case: WorkloadCase, seed: int = 1325) -> dict:
+        nx, ny, nz = case["nx"], case["ny"], case["nz"]
+        kind = case["kind"]
+        rng = Lcg(seed)
+        if kind == "star2d1r":
+            grid = rng.uniform(nx * ny, shape=(nx, ny))
+        else:
+            grid = rng.uniform(nx * ny * nz, shape=(nz, nx, ny))
+        return {"kind": kind, "grid": grid, "nx": nx, "ny": ny, "nz": nz}
+
+    def reference(self, data: dict) -> np.ndarray:
+        """Serial-order ground truth: weighted neighbor accumulation in the
+        canonical (center, -x, +x, -y, +y[, -z, +z]) order."""
+        return self._sweep(data, order="serial")
+
+    # ------------------------------------------------------------------
+    def execute(self, variant: Variant, data: dict,
+                device: Device) -> KernelResult:
+        variant = self.resolve_variant(variant)
+        if variant is Variant.BASELINE:
+            out = self._sweep(data, order="serial")
+        else:
+            out = self._sweep(data, order="lowrank")
+        stats = self._stats(variant, data["kind"], data["nx"], data["ny"],
+                            data["nz"])
+        return device.resolve(stats, output=out)
+
+    @staticmethod
+    def _sweep(data: dict, order: str) -> np.ndarray:
+        """One stencil sweep with zero boundary conditions.
+
+        ``serial``: canonical per-point accumulation order (baseline and
+        ground truth).  ``lowrank``: LoRAStencil's rank-decomposed order —
+        the complete row pass is accumulated first, then the column (and
+        slab) passes are added, which rounds differently.
+        """
+        kind, grid = data["kind"], data["grid"]
+        if kind == "star2d1r":
+            c0, cx, cy = STAR2D1R_WEIGHTS
+            g = grid
+            xm = np.zeros_like(g)
+            xp = np.zeros_like(g)
+            ym = np.zeros_like(g)
+            yp = np.zeros_like(g)
+            xm[1:, :] = g[:-1, :]
+            xp[:-1, :] = g[1:, :]
+            ym[:, 1:] = g[:, :-1]
+            yp[:, :-1] = g[:, 1:]
+            if order == "serial":
+                return ((((c0 * g + cx * xm) + cx * xp) + cy * ym) + cy * yp)
+            row = (c0 * g + cy * ym) + cy * yp        # row-direction rank
+            col = cx * xm + cx * xp                   # column-direction rank
+            return row + col
+        c0, cx, cy, cz = STAR3D1R_WEIGHTS
+        g = grid  # (nz, nx, ny)
+        out_parts = []
+        for axis, w in ((1, cx), (2, cy), (0, cz)):
+            minus = np.zeros_like(g)
+            plus = np.zeros_like(g)
+            sl_m = [slice(None)] * 3
+            sl_p = [slice(None)] * 3
+            sl_m[axis] = slice(1, None)
+            sl_p[axis] = slice(None, -1)
+            src_m = [slice(None)] * 3
+            src_p = [slice(None)] * 3
+            src_m[axis] = slice(None, -1)
+            src_p[axis] = slice(1, None)
+            minus[tuple(sl_m)] = g[tuple(src_m)]
+            plus[tuple(sl_p)] = g[tuple(src_p)]
+            out_parts.append((w * minus, w * plus))
+        if order == "serial":
+            out = c0 * g
+            for minus, plus in out_parts:
+                out = (out + minus) + plus
+            return out
+        row = (c0 * g + out_parts[1][0]) + out_parts[1][1]
+        col = out_parts[0][0] + out_parts[0][1]
+        slab = out_parts[2][0] + out_parts[2][1]
+        return (row + col) + slab
+
+    # ------------------------------------------------------------------
+    def analytic_stats(self, variant: Variant,
+                       case: WorkloadCase) -> KernelStats:
+        variant = self.resolve_variant(variant)
+        return self._stats(variant, case["kind"], case["nx"], case["ny"],
+                           case["nz"])
+
+    def _stats(self, variant: Variant, kind: str, nx: int, ny: int,
+               nz: int) -> KernelStats:
+        st = KernelStats()
+        points = float(nx) * ny * nz
+        neighbors = 5 if kind == "star2d1r" else 7
+        ranks = 2 if kind == "star2d1r" else 3
+        st.essential_flops = 2.0 * neighbors * points
+        if variant is Variant.BASELINE:
+            # DRStencil: register reuse along one axis, halo rows re-read
+            # from DRAM along the others: ~(2r+1) read passes per sweep
+            st.add_fma(st.essential_flops)
+            st.cc_efficiency = CC_EFF
+            st.read_dram(8.0 * points * 3, segment_bytes=8 * ny)
+        else:
+            # LoRAStencil: rank-decomposed matmuls, one MMA per rank per
+            # 8x8 output tile (k=4 covers the 3-wide axis kernel + padding)
+            mmas = ranks * points / 64.0
+            if variant is Variant.TC:
+                st.add_mma_fp64(mmas)
+                st.tc_efficiency = TC_EFF
+            else:
+                st.add_mma_as_fma(mmas)
+                st.cc_efficiency = CC_EFF_MMA
+                st.mlp = MLP_MMA_CC
+            # memory-efficient gathering: each point read once; the weight
+            # components come from constant memory (no DRAM traffic)
+            st.read_dram(8.0 * points, segment_bytes=8 * ny)
+        st.write_dram(8.0 * points, segment_bytes=8 * ny)
+        st.l1_bytes = 8.0 * points * (neighbors + 1)
+        return st

@@ -1,0 +1,130 @@
+"""DASP-style storage for MMU-accelerated SpMV (Lu & Liu, SC'23).
+
+DASP groups the rows of a CSR matrix by nonzero count and reorganizes them
+into dense 8x4 tiles that feed FP64 ``mma_m8n8k4`` instructions:
+
+* rows are sorted by length and assigned to one of three categories
+  (``long`` / ``medium`` / ``short``) — the paper's "three categories";
+* eight consecutive rows (after sorting) form a *group*; a group with
+  longest row length L spans ``ceil(L / 4)`` k-steps;
+* k-step ``s`` of a group is an 8x4 tile of values (zero-padded) plus the
+  matching 8x4 tile of column indices.
+
+The SpMV then computes, per group and step, ``C += A_tile @ B_tile`` where
+``B_tile[k, j] = x[cols[j, k]]`` — so the row result appears on the
+*diagonal* of the 8x8 accumulator (Quadrant IV: full input, partial output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["DaspMatrix", "ROW_CATEGORY_BOUNDS"]
+
+#: rows with nnz > 512 are "long", > 32 "medium", else "short"
+ROW_CATEGORY_BOUNDS = (32, 512)
+
+
+@dataclass
+class DaspMatrix:
+    """A CSR matrix reorganized into DASP 8x4 tile groups."""
+
+    #: permutation: sorted position -> original row id
+    row_perm: np.ndarray
+    #: per-group k-step counts, shape (n_groups,)
+    group_steps: np.ndarray
+    #: start offset of each group's tiles in the tile arrays, (n_groups+1,)
+    group_offsets: np.ndarray
+    #: tile values, shape (total_steps, 8, 4), zero padded
+    values: np.ndarray
+    #: tile column indices, shape (total_steps, 8, 4); padding points at 0
+    cols: np.ndarray
+    #: validity mask of entries, shape (total_steps, 8, 4)
+    mask: np.ndarray
+    #: row categories in sorted order ("long"/"medium"/"short" per group row)
+    categories: np.ndarray
+    shape: tuple[int, int]
+    nnz: int
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, a: CsrMatrix) -> "DaspMatrix":
+        lengths = a.row_lengths()
+        # sort rows by decreasing length: groups then have homogeneous
+        # lengths, minimizing zero padding (DASP's categorization effect)
+        perm = np.argsort(-lengths, kind="stable").astype(np.int64)
+        sorted_len = lengths[perm]
+        n_rows = a.n_rows
+        n_groups = (n_rows + 7) // 8
+        padded_rows = n_groups * 8
+        # per-group steps from the longest member row
+        glen = np.zeros(padded_rows, dtype=np.int64)
+        glen[:n_rows] = sorted_len
+        glen = glen.reshape(n_groups, 8)
+        group_steps = np.maximum((glen.max(axis=1) + 3) // 4, 1)
+        group_offsets = np.concatenate(
+            [[0], np.cumsum(group_steps)]).astype(np.int64)
+        total_steps = int(group_offsets[-1])
+
+        values = np.zeros((total_steps, 8, 4))
+        cols = np.zeros((total_steps, 8, 4), dtype=np.int64)
+        mask = np.zeros((total_steps, 8, 4), dtype=bool)
+
+        # scatter each row's nonzeros into its group's tile stack, vectorized
+        # across all entries at once
+        if a.nnz:
+            sorted_pos_of_row = np.empty(n_rows, dtype=np.int64)
+            sorted_pos_of_row[perm] = np.arange(n_rows)
+            entry_row = a.row_of_entry()
+            pos = sorted_pos_of_row[entry_row]          # sorted row position
+            group = pos // 8
+            lane = pos % 8
+            # index of the entry within its row
+            within = (np.arange(a.nnz, dtype=np.int64)
+                      - a.indptr[entry_row])
+            step = group_offsets[group] + within // 4
+            kk = within % 4
+            values[step, lane, kk] = a.data
+            cols[step, lane, kk] = a.indices
+            mask[step, lane, kk] = True
+
+        cat = np.full(padded_rows, "short", dtype=object)
+        s_lo, s_hi = ROW_CATEGORY_BOUNDS
+        flat_len = glen.reshape(-1)
+        cat[flat_len > s_lo] = "medium"
+        cat[flat_len > s_hi] = "long"
+        return cls(row_perm=perm, group_steps=group_steps,
+                   group_offsets=group_offsets, values=values, cols=cols,
+                   mask=mask, categories=np.asarray(cat), shape=a.shape,
+                   nnz=a.nnz)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_steps)
+
+    @property
+    def total_tiles(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of tile slots that are zero padding."""
+        slots = self.mask.size
+        return 1.0 - self.nnz / slots if slots else 0.0
+
+    def gather_b_tiles(self, x: np.ndarray) -> np.ndarray:
+        """Build the 4x8 B tiles: ``B[s, k, j] = x[cols[s, j, k]]`` with
+        padding forced to zero so padded lanes contribute nothing."""
+        b = x[self.cols]                      # (steps, 8, 4) per-row gather
+        b = np.where(self.mask, b, 0.0)
+        return np.swapaxes(b, 1, 2).copy()    # -> (steps, 4, 8)
+
+    def category_histogram(self) -> dict[str, int]:
+        vals, counts = np.unique(self.categories.astype(str),
+                                 return_counts=True)
+        return dict(zip(vals.tolist(), counts.tolist()))

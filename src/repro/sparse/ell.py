@@ -1,0 +1,80 @@
+"""ELLPACK (ELL) sparse storage.
+
+The classical GPU-friendly format that pads every row to the maximum row
+length — the ancestor of DASP's tile packing and a useful point of
+comparison for padding-overhead studies: ELL's padding is governed by the
+*maximum* row length, DASP's by the per-8-row-group maximum, which is why
+DASP tolerates skewed matrices that make ELL explode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["EllMatrix"]
+
+
+@dataclass
+class EllMatrix:
+    """Row-padded sparse matrix: values/cols are (n_rows, width)."""
+
+    values: np.ndarray
+    cols: np.ndarray
+    mask: np.ndarray
+    shape: tuple[int, int]
+    nnz: int
+
+    @classmethod
+    def from_csr(cls, a: CsrMatrix, max_width: int | None = None
+                 ) -> "EllMatrix":
+        """Convert; refuse pathological padding beyond ``max_width``."""
+        lengths = a.row_lengths()
+        width = int(lengths.max()) if a.nnz else 0
+        if max_width is not None and width > max_width:
+            raise ValueError(
+                f"row width {width} exceeds max_width {max_width}: "
+                "ELL would waste too much storage (use DASP/CSR)")
+        n_rows = a.n_rows
+        values = np.zeros((n_rows, width))
+        cols = np.zeros((n_rows, width), dtype=np.int64)
+        mask = np.zeros((n_rows, width), dtype=bool)
+        if a.nnz:
+            rows = a.row_of_entry()
+            within = np.arange(a.nnz, dtype=np.int64) - a.indptr[rows]
+            values[rows, within] = a.data
+            cols[rows, within] = a.indices
+            mask[rows, within] = True
+        return cls(values=values, cols=cols, mask=mask, shape=a.shape,
+                   nnz=a.nnz)
+
+    @property
+    def width(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def padding_fraction(self) -> float:
+        slots = self.mask.size
+        return 1.0 - self.nnz / slots if slots else 0.0
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Column-major ELL SpMV: lane k accumulates across the padded
+        width sequentially (the classical ELL kernel order)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},)")
+        y = np.zeros(self.shape[0])
+        for k in range(self.width):
+            contrib = np.where(self.mask[:, k],
+                               self.values[:, k] * x[self.cols[:, k]], 0.0)
+            y = y + contrib
+        return y
+
+    def to_csr(self) -> CsrMatrix:
+        rows, within = np.nonzero(self.mask)
+        return CsrMatrix.from_coo(rows, self.cols[rows, within],
+                                  self.values[rows, within], self.shape,
+                                  sum_duplicates=False)

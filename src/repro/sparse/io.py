@@ -1,0 +1,79 @@
+"""Matrix Market (.mtx) reading and writing for the CSR substrate.
+
+Supports the ``matrix coordinate`` format in ``real``, ``integer`` and
+``pattern`` fields with ``general`` or ``symmetric`` symmetry — enough to
+load SuiteSparse downloads when a user has them, and to round-trip the
+synthetic stand-ins shipped with this package.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(path: str | Path | io.TextIOBase) -> CsrMatrix:
+    """Parse a Matrix Market coordinate file into a :class:`CsrMatrix`."""
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="utf-8") as fh:
+            return read_matrix_market(fh)
+    header = path.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) < 5:
+        raise ValueError(f"malformed header: {header.strip()!r}")
+    _, obj, fmt, field, symmetry = parts[:5]
+    if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+        raise ValueError("only 'matrix coordinate' files are supported")
+    field = field.lower()
+    symmetry = symmetry.lower()
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    line = path.readline()
+    while line.startswith("%"):
+        line = path.readline()
+    n_rows, n_cols, nnz = (int(t) for t in line.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz)
+    for i in range(nnz):
+        toks = path.readline().split()
+        if len(toks) < 2:
+            raise ValueError(f"truncated file at entry {i}")
+        rows[i] = int(toks[0]) - 1
+        cols[i] = int(toks[1]) - 1
+        if field != "pattern":
+            vals[i] = float(toks[2])
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[:nnz][off]])
+        vals = np.concatenate([vals, vals[:nnz][off]])
+    return CsrMatrix.from_coo(rows, cols, vals, (n_rows, n_cols))
+
+
+def write_matrix_market(path: str | Path | io.TextIOBase, a: CsrMatrix,
+                        comment: str = "") -> None:
+    """Write a :class:`CsrMatrix` as a general real coordinate file."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8") as fh:
+            write_matrix_market(fh, a, comment)
+            return
+    path.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        path.write(f"% {line}\n")
+    path.write(f"{a.n_rows} {a.n_cols} {a.nnz}\n")
+    rows = a.row_of_entry()
+    for r, c, v in zip(rows, a.indices, a.data):
+        path.write(f"{r + 1} {c + 1} {float(v)!r}\n")

@@ -1,0 +1,19 @@
+"""Benchmark-suite comparison substrate (Figure 11, Table 7)."""
+
+from .metrics import (
+    METRIC_NAMES,
+    MetricPoint,
+    metrics_for_stats,
+    suite_metric_points,
+)
+from .minikernels import RODINIA_KERNELS, SHOC_KERNELS, MiniKernel
+
+__all__ = [
+    "METRIC_NAMES",
+    "MetricPoint",
+    "metrics_for_stats",
+    "suite_metric_points",
+    "RODINIA_KERNELS",
+    "SHOC_KERNELS",
+    "MiniKernel",
+]

@@ -1,0 +1,78 @@
+"""NCU-style architectural metric vectors (Figure 11).
+
+Each kernel — mini-kernel or Cubie workload variant — resolves to a metric
+vector on one device: memory efficiency, compute throughput, FMA pipe
+utilization, and tensor pipe utilization (the metric set Section 10 lists),
+plus log arithmetic intensity for scale separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.counters import KernelStats
+from ..gpu.device import Device
+from ..kernels.base import Workload
+from .minikernels import RODINIA_KERNELS, SHOC_KERNELS, MiniKernel
+
+__all__ = ["METRIC_NAMES", "MetricPoint", "metrics_for_stats",
+           "suite_metric_points"]
+
+METRIC_NAMES = (
+    "memory_efficiency",
+    "compute_throughput",
+    "fma_pipe_utilization",
+    "tensor_pipe_utilization",
+    "log_arithmetic_intensity",
+)
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One kernel's metric vector, labeled by suite."""
+
+    suite: str
+    kernel: str
+    values: np.ndarray
+
+
+def metrics_for_stats(stats: KernelStats, device: Device) -> np.ndarray:
+    """Compute the METRIC_NAMES vector for a kernel on a device."""
+    result = device.resolve(stats)
+    util = result.breakdown.utilization()
+    mem_eff = min(result.achieved_bandwidth / device.spec.dram_bw, 1.0)
+    total_ops = stats.total_flops + stats.tc_b1_ops + stats.cc_int_ops
+    peak = device.spec.tc_fp64 + device.spec.cc_fp64
+    compute = min(total_ops / max(result.time_s, 1e-300) / peak, 1.0)
+    ai = stats.arithmetic_intensity("dram")
+    if not np.isfinite(ai):
+        ai = 1e6
+    return np.array([
+        mem_eff,
+        compute,
+        util["fma"],
+        util["tensor"],
+        np.log10(max(ai, 1e-6)),
+    ])
+
+
+def suite_metric_points(workloads: list[Workload], device: Device
+                        ) -> list[MetricPoint]:
+    """Metric vectors for Rodinia + SHOC mini-kernels and every Cubie
+    workload variant (the Figure 11 point cloud)."""
+    points: list[MetricPoint] = []
+    mini: tuple[MiniKernel, ...] = RODINIA_KERNELS + SHOC_KERNELS
+    for mk in mini:
+        points.append(MetricPoint(
+            suite=mk.suite, kernel=mk.name,
+            values=metrics_for_stats(mk.stats(), device)))
+    for w in workloads:
+        case = w.representative_case()
+        for v in w.variants():
+            stats = w.analytic_stats(v, case)
+            points.append(MetricPoint(
+                suite="Cubie", kernel=f"{w.name}:{v.value}",
+                values=metrics_for_stats(stats, device)))
+    return points

@@ -1,0 +1,117 @@
+"""Miniature Rodinia and SHOC kernels for the Figure 11 suite comparison.
+
+The paper profiles Rodinia, SHOC, and Cubie with NCU and PCAs the
+architectural metrics.  NCU is unavailable here, so each comparison-suite
+application is modeled as a *mini-kernel*: a characteristic op/byte profile
+on the simulated device, built from the application's well-known structure
+(e.g. hotspot is a 2-D stencil, kmeans is a distance-computation sweep).
+All of them are vector-unit codes — no tensor-pipe work — which is exactly
+why Cubie spans a wider region of the metric space (Observation 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..gpu.counters import KernelStats
+
+__all__ = ["MiniKernel", "RODINIA_KERNELS", "SHOC_KERNELS"]
+
+
+@dataclass(frozen=True)
+class MiniKernel:
+    """A named op/byte profile representing one suite application."""
+
+    name: str
+    suite: str
+    build: Callable[[], KernelStats]
+
+    def stats(self) -> KernelStats:
+        return self.build()
+
+
+def _k(flops: float, read_b: float, write_b: float, seg: float,
+       l1_factor: float = 1.0, int_ops: float = 0.0,
+       cc_eff: float = 0.6, mlp: float = 1.0,
+       stages: int = 1) -> KernelStats:
+    st = KernelStats()
+    if flops:
+        st.add_fma(flops)
+    st.cc_int_ops = int_ops
+    st.cc_efficiency = cc_eff
+    st.mlp = mlp
+    st.serial_stages = stages
+    st.read_dram(read_b, segment_bytes=seg)
+    st.write_dram(write_b, segment_bytes=seg)
+    st.l1_bytes = (read_b + write_b) * l1_factor
+    return st
+
+
+_N = 4 * 1024 * 1024  # nominal working-set elements
+
+RODINIA_KERNELS: tuple[MiniKernel, ...] = (
+    MiniKernel("hotspot", "Rodinia", lambda: _k(
+        flops=14.0 * _N, read_b=8.0 * _N * 3, write_b=8.0 * _N,
+        seg=8192, l1_factor=3.0)),
+    MiniKernel("srad", "Rodinia", lambda: _k(
+        flops=30.0 * _N, read_b=8.0 * _N * 4, write_b=8.0 * _N,
+        seg=8192, l1_factor=2.0)),
+    MiniKernel("lud", "Rodinia", lambda: _k(
+        flops=300.0 * _N, read_b=8.0 * _N, write_b=8.0 * _N,
+        seg=4096, l1_factor=6.0, cc_eff=0.55)),
+    MiniKernel("kmeans", "Rodinia", lambda: _k(
+        flops=64.0 * _N, read_b=8.0 * _N, write_b=0.5 * _N,
+        seg=2048, l1_factor=4.0)),
+    MiniKernel("bfs", "Rodinia", lambda: _k(
+        flops=0.0, read_b=8.0 * _N, write_b=2.0 * _N, seg=8,
+        int_ops=4.0 * _N, mlp=0.5, stages=12)),
+    MiniKernel("nw", "Rodinia", lambda: _k(
+        flops=6.0 * _N, read_b=8.0 * _N, write_b=8.0 * _N,
+        seg=2048, mlp=0.6, stages=64)),
+    MiniKernel("backprop", "Rodinia", lambda: _k(
+        flops=40.0 * _N, read_b=8.0 * _N * 2, write_b=8.0 * _N,
+        seg=4096, l1_factor=2.0)),
+    MiniKernel("pathfinder", "Rodinia", lambda: _k(
+        flops=4.0 * _N, read_b=4.0 * _N, write_b=4.0 * _N,
+        seg=4096, stages=32)),
+    MiniKernel("streamcluster", "Rodinia", lambda: _k(
+        flops=80.0 * _N, read_b=8.0 * _N, write_b=1.0 * _N,
+        seg=64, mlp=0.7)),
+    MiniKernel("cfd", "Rodinia", lambda: _k(
+        flops=60.0 * _N, read_b=8.0 * _N * 2, write_b=8.0 * _N,
+        seg=32, mlp=0.65, l1_factor=2.0)),
+)
+
+SHOC_KERNELS: tuple[MiniKernel, ...] = (
+    MiniKernel("sgemm", "SHOC", lambda: _k(
+        flops=512.0 * _N, read_b=8.0 * _N, write_b=8.0 * _N,
+        seg=8192, l1_factor=8.0, cc_eff=0.65)),
+    MiniKernel("fft", "SHOC", lambda: _k(
+        flops=50.0 * _N, read_b=16.0 * _N, write_b=16.0 * _N,
+        seg=4096, l1_factor=5.0)),
+    MiniKernel("md", "SHOC", lambda: _k(
+        flops=200.0 * _N, read_b=8.0 * _N, write_b=2.0 * _N,
+        seg=32, mlp=0.8)),
+    MiniKernel("reduction", "SHOC", lambda: _k(
+        flops=1.0 * _N, read_b=8.0 * _N, write_b=0.01 * _N,
+        seg=65536, mlp=0.85, stages=8)),
+    MiniKernel("scan", "SHOC", lambda: _k(
+        flops=2.0 * _N, read_b=8.0 * _N, write_b=8.0 * _N,
+        seg=65536, mlp=0.8, stages=16, l1_factor=3.0)),
+    MiniKernel("sort", "SHOC", lambda: _k(
+        flops=0.0, read_b=4.0 * _N * 4, write_b=4.0 * _N * 4,
+        seg=256, int_ops=20.0 * _N, mlp=0.7, stages=24)),
+    MiniKernel("spmv", "SHOC", lambda: _k(
+        flops=2.0 * _N, read_b=12.0 * _N + 8.0 * _N, write_b=0.1 * _N,
+        seg=8, mlp=0.6)),
+    MiniKernel("triad", "SHOC", lambda: _k(
+        flops=2.0 * _N, read_b=8.0 * _N * 2, write_b=8.0 * _N,
+        seg=1 << 20, mlp=1.0)),
+    MiniKernel("stencil2d", "SHOC", lambda: _k(
+        flops=10.0 * _N, read_b=8.0 * _N * 3, write_b=8.0 * _N,
+        seg=8192, l1_factor=3.0)),
+    MiniKernel("s3d", "SHOC", lambda: _k(
+        flops=120.0 * _N, read_b=8.0 * _N * 2, write_b=8.0 * _N,
+        seg=4096, l1_factor=2.0)),
+)

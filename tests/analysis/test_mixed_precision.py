@@ -1,0 +1,158 @@
+"""Tests for the mixed-precision MMA emulation and iterative refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mixed_precision import (
+    blocked_cholesky,
+    iterative_refinement,
+    modeled_factorization_time,
+    solve_cholesky,
+)
+from repro.gpu import Device
+from repro.gpu.isa import Precision
+from repro.gpu.mma_mixed import mma_mixed_batched, quantize, unit_roundoff
+
+
+def spd(n, seed=0, shift=None):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(-1, 1, (n, n))
+    return m @ m.T + (shift if shift is not None else n) * np.eye(n)
+
+
+class TestQuantize:
+    def test_fp64_identity(self):
+        x = np.array([1/3, np.pi, 1e-10])
+        np.testing.assert_array_equal(quantize(x, Precision.FP64), x)
+
+    def test_fp16_matches_numpy_half(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-100, 100, 1000)
+        np.testing.assert_array_equal(
+            quantize(x, Precision.FP16),
+            x.astype(np.float16).astype(np.float64))
+
+    @pytest.mark.parametrize("precision", [Precision.BF16, Precision.FP32])
+    def test_truncation_error_within_unit_roundoff(self, precision):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.5, 2.0, 10000)
+        q = quantize(x, precision)
+        rel = np.abs(q - x) / np.abs(x)
+        assert rel.max() <= 2.05 * unit_roundoff(precision)
+
+    def test_exact_values_preserved(self):
+        x = np.array([1.0, 0.5, -2.0, 1024.0, 0.0])
+        for p in (Precision.FP16, Precision.BF16, Precision.FP32):
+            np.testing.assert_array_equal(quantize(x, p), x)
+
+    def test_roundoff_ordering(self):
+        assert unit_roundoff(Precision.BF16) > unit_roundoff(Precision.FP16)
+        assert unit_roundoff(Precision.FP16) > unit_roundoff(Precision.FP64)
+
+
+class TestMixedMma:
+    def test_fp16_mma_error_scales_with_precision(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (16, 16))
+        b = rng.uniform(-1, 1, (16, 16))
+        exact = a @ b
+        errs = {}
+        for p in (Precision.FP16, Precision.BF16):
+            got = mma_mixed_batched(a[np.newaxis], b[np.newaxis],
+                                    precision=p)[0]
+            errs[p] = np.abs(got - exact).max()
+        assert 0 < errs[Precision.FP16] < errs[Precision.BF16]
+        # error magnitude commensurate with the operand roundoff
+        assert errs[Precision.FP16] < 64 * unit_roundoff(Precision.FP16)
+
+    def test_accumulator_supported(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(-1, 1, (8, 4))
+        b = rng.uniform(-1, 1, (4, 8))
+        c = rng.uniform(-1, 1, (8, 8)).astype(np.float32).astype(float)
+        got = mma_mixed_batched(a[np.newaxis], b[np.newaxis],
+                                c[np.newaxis], Precision.FP16)[0]
+        assert np.abs(got - (a @ b + c)).max() < 0.1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mma_mixed_batched(np.zeros((8, 4)), np.zeros((3, 8)))
+
+
+class TestBlockedCholesky:
+    @pytest.mark.parametrize("n,block", [(40, 8), (64, 32), (50, 64)])
+    def test_fp64_factorization_exactish(self, n, block):
+        a = spd(n)
+        l = blocked_cholesky(a, block=block, precision=Precision.FP64)
+        np.testing.assert_allclose(l @ l.T, a, atol=1e-10 * n)
+        assert np.allclose(np.triu(l, 1), 0.0)
+
+    def test_low_precision_factorization_is_approximate(self):
+        a = spd(64, seed=5)
+        l16 = blocked_cholesky(a, precision=Precision.FP16)
+        l64 = blocked_cholesky(a, precision=Precision.FP64)
+        err16 = np.abs(l16 @ l16.T - a).max()
+        err64 = np.abs(l64 @ l64.T - a).max()
+        assert err16 > err64
+
+    def test_solve_cholesky(self):
+        a = spd(32, seed=6)
+        b = np.arange(32, dtype=float)
+        l = blocked_cholesky(a, precision=Precision.FP64)
+        x = solve_cholesky(l, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            blocked_cholesky(np.zeros((3, 4)))
+
+
+class TestRefinement:
+    @pytest.mark.parametrize("precision", [Precision.FP16, Precision.BF16,
+                                           Precision.FP32])
+    def test_recovers_fp64_accuracy(self, precision):
+        a = spd(80, seed=7)
+        b = np.random.default_rng(8).uniform(-1, 1, 80)
+        r = iterative_refinement(a, b, precision=precision, tol=1e-12)
+        assert r.converged
+        assert r.residuals[-1] < 1e-12
+        assert r.iterations <= 10
+
+    def test_refinement_monotone_decrease(self):
+        a = spd(60, seed=9)
+        b = np.ones(60)
+        r = iterative_refinement(a, b, precision=Precision.FP16)
+        assert all(b <= a * 1.5 for a, b in zip(r.residuals,
+                                                r.residuals[1:]))
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=8, deadline=None)
+    def test_property_fp16_start_worse_than_end(self, seed):
+        a = spd(48, seed=seed)
+        b = np.random.default_rng(seed + 1).uniform(-1, 1, 48)
+        r = iterative_refinement(a, b, precision=Precision.FP16)
+        assert r.residuals[-1] <= r.residuals[0]
+
+
+class TestModeledTimes:
+    def test_fp16_refinement_beats_fp64_on_blackwell(self):
+        dev = Device("B200")
+        t64 = modeled_factorization_time(8192, dev, Precision.FP64)
+        t16 = modeled_factorization_time(8192, dev, Precision.FP16,
+                                         refinement_iters=5)
+        assert t16 < t64
+        # the 45:1 FP16:FP64 peak ratio makes the gap large
+        assert t64 / t16 > 3.0
+
+    def test_gap_narrower_on_hopper(self):
+        h, b = Device("H200"), Device("B200")
+
+        def ratio(dev):
+            return (modeled_factorization_time(8192, dev, Precision.FP64)
+                    / modeled_factorization_time(8192, dev, Precision.FP16,
+                                                 refinement_iters=5))
+        # Hopper's strong FP64 TC keeps mixed precision less compelling —
+        # the architectural story behind Figure 12
+        assert ratio(h) < ratio(b)

@@ -1,0 +1,134 @@
+"""Tests for the Ozaki-scheme FP64 GEMM on low-precision MMAs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ozaki import (
+    compare_schemes,
+    modeled_ozaki_time,
+    ozaki_gemm,
+    slice_bits_for,
+    split_fp64,
+)
+from repro.gpu import Device
+from repro.gpu.mma_mixed import mma_mixed_batched
+from repro.gpu.isa import Precision
+
+
+class TestSliceBits:
+    def test_exactness_bound(self):
+        for k in (4, 64, 256, 4096):
+            beta = slice_bits_for(k)
+            assert 2 * beta + int(np.ceil(np.log2(k))) <= 24
+
+    def test_wider_k_narrower_slices(self):
+        assert slice_bits_for(64) >= slice_bits_for(4096)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slice_bits_for(0)
+
+
+class TestSplit:
+    def test_reconstruction_converges_geometrically(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-8, 8, (16, 16))
+        errs = []
+        for s in range(1, 6):
+            slices, scale = split_fp64(x, s, slice_bits=9)
+            recon = sum(sl * 2.0 ** (-9 * i)
+                        for i, sl in enumerate(slices)) * scale
+            errs.append(np.abs(recon - x).max())
+        assert all(b < a for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 1e-10
+
+    def test_slices_are_normalized_and_quantized(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1000, 1000, (8, 32))
+        slices, scale = split_fp64(x, 4, slice_bits=9)
+        for sl in slices:
+            assert np.abs(sl).max() <= 1.0 + 2.0 ** -9
+            # exactly representable on the 2^-9 grid
+            np.testing.assert_array_equal(sl, np.round(sl * 512) / 512)
+        # fp16 conversion is lossless for normalized slices
+        for sl in slices:
+            np.testing.assert_array_equal(
+                sl.astype(np.float16).astype(np.float64), sl)
+
+    def test_zero_rows_handled(self):
+        x = np.zeros((4, 4))
+        slices, scale = split_fp64(x, 3)
+        for sl in slices:
+            np.testing.assert_array_equal(sl, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_fp64(np.ones((2, 2)), 0)
+
+
+class TestOzakiGemm:
+    def test_error_decreases_with_slices_to_fp64_level(self):
+        fp16_err, fp64_err, reports = compare_schemes(n=48, max_slices=6)
+        errs = [r.max_error for r in reports]
+        assert errs[0] < fp16_err * 10  # one slice ~ plain low precision
+        assert all(b <= a for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 100 * fp64_err  # recovers FP64-class accuracy
+
+    def test_sweep_count_quadratic(self):
+        _, _, reports = compare_schemes(n=16, max_slices=4)
+        assert [r.mma_sweeps for r in reports] == [1, 3, 6, 10]
+
+    def test_rectangular_operands(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-2, 2, (24, 32))
+        b = rng.uniform(-2, 2, (32, 16))
+        got = ozaki_gemm(a, b, n_slices=6)
+        np.testing.assert_allclose(got, a @ b, atol=1e-10)
+
+    def test_wide_dynamic_range(self):
+        # per-row scaling must keep accuracy across magnitudes
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (16, 16)) * np.logspace(-6, 6, 16)[:, None]
+        b = rng.uniform(-1, 1, (16, 16))
+        got = ozaki_gemm(a, b, n_slices=6)
+        rel = np.abs(got - a @ b) / np.maximum(np.abs(a @ b), 1e-300)
+        assert np.median(rel) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ozaki_gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=8, deadline=None)
+    def test_property_beats_plain_fp16(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-2, 2, (16, 16))
+        b = rng.uniform(-2, 2, (16, 16))
+        plain = mma_mixed_batched(a[np.newaxis], b[np.newaxis],
+                                  precision=Precision.FP16)[0]
+        oz = ozaki_gemm(a, b, n_slices=3)
+        exact = a @ b
+        assert np.abs(oz - exact).max() \
+            <= np.abs(plain - exact).max() + 1e-15
+
+
+class TestOzakiEconomics:
+    def test_three_slice_ozaki_beats_fp64_tc_on_b200(self):
+        dev = Device("B200")
+        n = 8192
+        t_oz = modeled_ozaki_time(n, dev, n_slices=3)
+        t_fp64 = 2.0 * n ** 3 / (dev.spec.tc_fp64 * 0.55) \
+            + dev.spec.launch_overhead_s
+        assert t_oz < t_fp64
+
+    def test_enough_slices_erase_the_advantage_on_hopper(self):
+        # H200's strong FP64 TC: full-accuracy Ozaki (6 slices = 21
+        # sweeps at ~15x FP16:FP64 ratio) is not clearly ahead
+        dev = Device("H200")
+        n = 8192
+        t_oz = modeled_ozaki_time(n, dev, n_slices=6)
+        t_fp64 = 2.0 * n ** 3 / (dev.spec.tc_fp64 * 0.55) \
+            + dev.spec.launch_overhead_s
+        assert t_oz > 0.4 * t_fp64

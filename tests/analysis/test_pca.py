@@ -1,0 +1,120 @@
+"""Tests for the from-scratch standardization/PCA implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pca import coverage_stats, pca, standardize
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 3, (200, 4))
+        z, mean, std = standardize(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1, atol=1e-12)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+        z, _, std = standardize(x)
+        np.testing.assert_array_equal(z[:, 1], 0.0)
+        assert std[1] == 1.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            standardize(np.arange(5.0))
+
+
+class TestPca:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(1)
+        direction = np.array([3.0, 4.0]) / 5.0
+        t = rng.normal(0, 10, 500)
+        x = np.outer(t, direction) + rng.normal(0, 0.1, (500, 2))
+        res = pca(x, 1)
+        align = abs(res.components[0] @ direction)
+        assert align > 0.999
+
+    def test_explained_ratio_sums_below_one(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, (100, 5))
+        res = pca(x, 3)
+        assert 0 < res.explained_ratio.sum() <= 1.0 + 1e-12
+        assert np.all(np.diff(res.explained_variance) <= 1e-12)
+
+    def test_scores_match_projection(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, (50, 4))
+        res = pca(x, 2)
+        np.testing.assert_allclose(res.scores, res.transform(x), atol=1e-10)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 1, (80, 6))
+        res = pca(x, 3)
+        gram = res.components @ res.components.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_deterministic_sign(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 1, (60, 3))
+        r1, r2 = pca(x, 2), pca(x.copy(), 2)
+        np.testing.assert_array_equal(r1.components, r2.components)
+        for row in r1.components:
+            assert row[int(np.argmax(np.abs(row)))] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            pca(np.zeros((5, 3)), n_components=4)
+        with pytest.raises(ValueError):
+            pca(np.zeros(5))
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_total_variance_preserved_full_rank(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, (30, 4))
+        res = pca(x, 4)
+        total = np.var(x, axis=0, ddof=1).sum()
+        assert res.explained_variance.sum() == pytest.approx(total, rel=1e-9)
+
+
+class TestCoverageStats:
+    def test_spanning_selection_covers_range(self):
+        rng = np.random.default_rng(6)
+        pop = rng.uniform(-1, 1, (300, 2))
+        sel = np.array([[-1, -1], [1, 1], [-1, 1], [1, -1], [0, 0]],
+                       dtype=float)
+        stats = coverage_stats(pop, sel)
+        assert stats["range_coverage"] > 0.9
+        # five points cannot blanket a square, but far more of the
+        # population sits near them than near a clustered selection
+        clustered = coverage_stats(pop, rng.uniform(-0.02, 0.02, (5, 2)))
+        assert stats["population_near_selected"] > 0.3
+        assert stats["population_near_selected"] \
+            > clustered["population_near_selected"]
+
+    def test_clustered_selection_poor_coverage(self):
+        rng = np.random.default_rng(7)
+        pop = rng.uniform(-1, 1, (300, 2))
+        sel = rng.uniform(-0.02, 0.02, (5, 2))
+        stats = coverage_stats(pop, sel)
+        assert stats["range_coverage"] < 0.3
+        assert stats["selected_dispersion"] < 0.05
+
+    def test_dispersion_ordering_like_paper(self):
+        # well-spread representatives: selected dispersion far exceeds the
+        # dispersion of their nearest neighbors (0.18 vs 0.05 in the paper)
+        rng = np.random.default_rng(8)
+        pop = rng.normal(0, 1, (500, 2))
+        sel = pop[np.argsort(pop[:, 0])[[0, 124, 249, 374, 499]]]
+        stats = coverage_stats(pop, sel)
+        assert stats["selected_dispersion"] > stats["nn_dispersion"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_stats(np.zeros(5), np.zeros((2, 2)))

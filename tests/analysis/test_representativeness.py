@@ -1,0 +1,70 @@
+"""Tests for the Section 5.1 case-regime classification."""
+
+import pytest
+
+from repro.analysis.representativeness import (
+    Regime,
+    classify_case,
+    workload_regimes,
+)
+from repro.gpu import Device
+from repro.kernels import GemmWorkload, GemvWorkload, Variant
+from repro.kernels.base import WorkloadCase
+
+DEV = Device("H200")
+
+
+class TestClassifyCase:
+    def test_large_gemm_is_compute_bound(self):
+        w = GemmWorkload()
+        p = classify_case(w, w.cases()[-1], DEV)
+        assert p.regime is Regime.COMPUTE
+        assert p.bottleneck == "tensor"
+        assert p.overhead_fraction < 0.05
+
+    def test_tiny_gemm_is_latency_bound(self):
+        w = GemmWorkload()
+        case = WorkloadCase(label="tiny", params={"m": 32, "n": 32,
+                                                  "k": 32})
+        p = classify_case(w, case, DEV)
+        assert p.regime is Regime.LATENCY
+        assert p.overhead_fraction > 0.33
+
+    def test_huge_gemv_is_memory_bound(self):
+        w = GemvWorkload()
+        case = WorkloadCase(label="big", params={"m": 1 << 22, "n": 16})
+        p = classify_case(w, case, DEV)
+        assert p.regime is Regime.MEMORY
+        assert p.bottleneck == "dram"
+
+    def test_threshold_parameter(self):
+        w = GemmWorkload()
+        case = WorkloadCase(label="mid", params={"m": 256, "n": 256,
+                                                 "k": 256})
+        strict = classify_case(w, case, DEV, latency_threshold=0.01)
+        assert strict.regime is Regime.LATENCY  # any overhead counts
+
+    def test_variant_affects_bottleneck(self):
+        w = GemmWorkload()
+        case = w.cases()[-1]
+        tc = classify_case(w, case, DEV, Variant.TC)
+        cc = classify_case(w, case, DEV, Variant.CC)
+        assert tc.bottleneck == "tensor"
+        assert cc.bottleneck == "fma"
+
+
+class TestWorkloadRegimes:
+    def test_five_profiles_per_workload(self):
+        profiles = workload_regimes(GemmWorkload(), DEV)
+        assert len(profiles) == 5
+        assert [p.case for p in profiles] == \
+            [c.label for c in GemmWorkload().cases()]
+
+    def test_gemm_sweep_spans_regimes(self):
+        regimes = {p.regime for p in workload_regimes(GemmWorkload(), DEV)}
+        assert len(regimes) >= 2
+
+    def test_times_positive_and_finite(self):
+        for p in workload_regimes(GemvWorkload(), DEV):
+            assert 0 < p.time_s < 1.0
+            assert 0 <= p.overhead_fraction <= 1.0

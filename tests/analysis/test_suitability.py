@@ -1,0 +1,144 @@
+"""Tests for the algorithm-level MMU-suitability predictor, including the
+validation against the ten Cubie workloads the module promises."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.suitability import KernelSketch, Verdict, predict
+from repro.gpu import Device
+from repro.gpu.specs import H200, get_gpu
+from repro.kernels import Variant, get_workload
+
+# sketches of the ten workloads *before* MMU transformation: numbers a
+# reader can derive from each algorithm's definition (representative case)
+WORKLOAD_SKETCHES = {
+    # GEMM 1K^3: 2 GFLOP over ~25 MB with tiling reuse
+    "gemm": KernelSketch("gemm", essential_flops=2 * 1024 ** 3,
+                         bytes_moved=2.6e8, mma_redundancy=1.0),
+    # FFT 256-pt x 2048x1024 signals: 5 n log n, one rw pass, but the MMA
+    # form computes ~2.2x and needs an extra layout pass
+    "fft": KernelSketch("fft", essential_flops=5 * 5.4e8 * 8,
+                        bytes_moved=1.7e10, mma_redundancy=2.2,
+                        layout_traffic_factor=2.0),
+    # Stencil 10K^2 star2d1r: 10 flops/pt; vector version re-reads rows
+    "stencil": KernelSketch("stencil", essential_flops=10 * 1e8,
+                            bytes_moved=3.2e9, mma_redundancy=1.6,
+                            layout_traffic_factor=0.5),
+    # PiC 1M particles: compute-rich pushes over small state
+    "pic": KernelSketch("pic", essential_flops=280 * 1e6,
+                        bytes_moved=9.6e7, mma_redundancy=4.3),
+    # Scan 2^24: 1 add/element, constant matrices, log-depth vector scan
+    "scan": KernelSketch("scan", essential_flops=1.7e7,
+                         bytes_moved=2.7e8, mma_redundancy=48.0,
+                         constant_operand=True, serial_fraction=0.25),
+    "reduction": KernelSketch("reduction", essential_flops=1.7e7,
+                              bytes_moved=1.4e8, mma_redundancy=16.0,
+                              constant_operand=True, serial_fraction=0.25),
+    # GEMV 11K x 16: streaming A, diagonal-only MMA output
+    "gemv": KernelSketch("gemv", essential_flops=2 * 11264 * 16,
+                         bytes_moved=11264 * 16 * 8.0,
+                         mma_redundancy=8.0),
+    # SpMV raefsky3: 12B/nnz stream + 8B/nnz scattered x gathers
+    "spmv": KernelSketch("spmv", essential_flops=2 * 1.5e6,
+                         bytes_moved=3.0e7, mma_redundancy=8.8,
+                         scattered_byte_fraction=0.4,
+                         layout_traffic_factor=0.75),
+    # SpGEMM raefsky3: hash-based expansion, scattered B-row re-reads
+    "spgemm": KernelSketch("spgemm", essential_flops=2.1e8,
+                           bytes_moved=1.7e8, mma_redundancy=2.0,
+                           scattered_byte_fraction=0.5,
+                           layout_traffic_factor=0.6),
+}
+
+
+class TestSketchValidation:
+    def test_valid(self):
+        s = KernelSketch("k", 100.0, 10.0)
+        assert s.arithmetic_intensity == 10.0
+        assert not s.baseline_irregular
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(essential_flops=1.0, bytes_moved=0.0),
+        dict(essential_flops=1.0, bytes_moved=1.0, mma_redundancy=0.5),
+        dict(essential_flops=1.0, bytes_moved=1.0, serial_fraction=1.0),
+        dict(essential_flops=1.0, bytes_moved=1.0,
+             scattered_byte_fraction=1.5),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            KernelSketch("k", **kwargs)
+
+    def test_irregular_threshold(self):
+        low = KernelSketch("k", 1.0, 1.0, scattered_byte_fraction=0.1)
+        high = KernelSketch("k", 1.0, 1.0, scattered_byte_fraction=0.5)
+        assert not low.baseline_irregular
+        assert high.baseline_irregular
+
+
+class TestPredictorMechanics:
+    def test_compute_bound_kernel_strong_on_hopper(self):
+        s = KernelSketch("dense", essential_flops=1e12, bytes_moved=1e9)
+        p = predict(s, H200)
+        assert p.tc_bottleneck == "tensor"
+        assert p.verdict is Verdict.STRONG
+
+    def test_pure_streaming_kernel_marginal(self):
+        s = KernelSketch("streaming", essential_flops=1e6,
+                         bytes_moved=1e9)
+        p = predict(s, H200)
+        assert p.verdict in (Verdict.MARGINAL, Verdict.COUNTERPRODUCTIVE)
+
+    def test_layout_overhead_can_flip_the_verdict(self):
+        base = dict(essential_flops=5e8, bytes_moved=1e9)
+        good = predict(KernelSketch("a", **base), H200)
+        bad = predict(KernelSketch("b", layout_traffic_factor=3.0, **base),
+                      H200)
+        assert bad.speedup < good.speedup
+
+    def test_blackwell_weakens_compute_bound_verdicts(self):
+        s = KernelSketch("dense", essential_flops=1e12, bytes_moved=1e9)
+        assert predict(s, get_gpu("B200")).speedup \
+            < predict(s, H200).speedup
+
+    def test_constant_operand_helps(self):
+        base = dict(essential_flops=1e11, bytes_moved=1e9,
+                    mma_redundancy=16.0)
+        with_c = predict(KernelSketch("c", constant_operand=True, **base),
+                         H200)
+        without = predict(KernelSketch("n", **base), H200)
+        assert with_c.speedup > without.speedup
+
+
+class TestAgainstCubie:
+    """The module's promise: predictions match the measured outcomes."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_SKETCHES))
+    def test_verdict_matches_measured_direction(self, name):
+        dev = Device("H200")
+        w = get_workload(name)
+        p = predict(WORKLOAD_SKETCHES[name], H200)
+        if Variant.BASELINE not in w.variants():
+            pytest.skip("no baseline to compare against")
+        case = w.representative_case()
+        t_tc = dev.resolve(w.analytic_stats(Variant.TC, case)).time_s
+        t_b = dev.resolve(w.analytic_stats(Variant.BASELINE, case)).time_s
+        measured = t_b / t_tc
+        # qualitative agreement: both sides of 1.0
+        assert (p.speedup >= 1.0) == (measured >= 1.0), \
+            (name, p.speedup, measured)
+
+    def test_quantitative_agreement_within_2x(self):
+        dev = Device("H200")
+        ratios = []
+        for name, sketch in WORKLOAD_SKETCHES.items():
+            w = get_workload(name)
+            if Variant.BASELINE not in w.variants():
+                continue
+            case = w.representative_case()
+            t_tc = dev.resolve(w.analytic_stats(Variant.TC, case)).time_s
+            t_b = dev.resolve(
+                w.analytic_stats(Variant.BASELINE, case)).time_s
+            measured = t_b / t_tc
+            ratios.append(predict(sketch, H200).speedup / measured)
+        ratios = np.array(ratios)
+        assert np.all(ratios > 0.4) and np.all(ratios < 2.5), ratios

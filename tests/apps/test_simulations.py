@@ -1,0 +1,91 @@
+"""Tests for the wave and plasma simulation applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.plasma import PlasmaSimulation
+from repro.apps.wave import WaveSimulation, cfl_limit
+from repro.gpu import Device
+from repro.kernels import Variant
+
+DEV = Device("H200")
+
+
+class TestWave:
+    def test_cfl_limit(self):
+        assert cfl_limit(1.0, 1.0) == pytest.approx(1 / np.sqrt(2))
+        with pytest.raises(ValueError):
+            cfl_limit(0.0, 1.0)
+
+    def test_rejects_unstable_dt(self):
+        with pytest.raises(ValueError, match="CFL"):
+            WaveSimulation(n=32, c=1.0, dx=1.0, dt=1.0)
+
+    def test_wave_propagates_outward(self):
+        sim = WaveSimulation(n=64)
+        sim.add_source(32, 32, amplitude=1.0, radius=2)
+        near_before = np.abs(sim.u[30:35, 30:35]).max()
+        far_before = np.abs(sim.u[10, 10])
+        sim.step(40)
+        far_after = np.abs(sim.u[12:20, 12:20]).max()
+        assert near_before > 0.9          # source present
+        assert far_before < 1e-6          # initially quiet far away
+        assert far_after > 1e-4           # disturbance arrived
+
+    def test_stable_energy(self):
+        sim = WaveSimulation(n=48)
+        sim.add_source(24, 24)
+        sim.step(5)
+        e0 = sim.energy()
+        sim.step(100)
+        e1 = sim.energy()
+        # open borders leak energy; it must never blow up
+        assert e1 < 2.0 * e0
+
+    def test_laplacian_of_constant_interior_zero(self):
+        sim = WaveSimulation(n=16)
+        lap = sim.laplacian(np.ones((16, 16)))
+        np.testing.assert_allclose(lap[1:-1, 1:-1], 0.0, atol=1e-14)
+
+    def test_modeled_step_cost_tc_faster(self):
+        sim = WaveSimulation(n=512)
+        t_tc = sim.modeled_step_cost(DEV, Variant.TC)
+        t_base = sim.modeled_step_cost(DEV, Variant.BASELINE)
+        assert 0 < t_tc < t_base
+
+
+class TestPlasma:
+    def test_boris_rotation_preserves_speed(self):
+        sim = PlasmaSimulation(n_particles=256)
+        drift = sim.gyration_check(b_mag=1.0, steps=50)
+        assert drift < 1e-12  # Boris is norm-preserving in pure B
+
+    def test_e_field_accelerates(self):
+        sim = PlasmaSimulation(n_particles=256)
+        sim.set_uniform_fields((1.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+        ke0 = sim.kinetic_energy()
+        sim.step(20)
+        assert sim.kinetic_energy() > ke0
+
+    def test_positions_stay_in_grid(self):
+        sim = PlasmaSimulation(n_particles=128)
+        sim.step(10)
+        from repro.kernels.pic import GRID
+        assert sim.data["pos"].min() >= 0
+        assert sim.data["pos"].max() < GRID
+
+    def test_steps_counted(self):
+        sim = PlasmaSimulation(n_particles=64)
+        sim.step(3)
+        assert sim.steps_taken == 3
+
+    def test_modeled_step_cost(self):
+        sim = PlasmaSimulation(n_particles=1 << 16)
+        tc = sim.modeled_step_cost(DEV, Variant.TC)
+        cc = sim.modeled_step_cost(DEV, Variant.CC)
+        assert tc["step_s"] < cc["step_s"]
+        assert tc["particles_per_s"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlasmaSimulation(n_particles=2)

@@ -1,0 +1,166 @@
+"""Tests for the SuiteSparse stand-in and population generators."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.datasets.graphs import (
+    BFS_GRAPHS,
+    generate_graph,
+    graph_info,
+    graph_to_csr,
+    kronecker_edges,
+    mycielskian,
+)
+from repro.datasets.populations import graph_population, matrix_population
+from repro.datasets.suitesparse import (
+    SPMV_MATRICES,
+    generate_matrix,
+    matrix_info,
+)
+from repro.datasets.synthetic import Lcg
+
+
+class TestMatrixStandins:
+    @pytest.mark.parametrize("info", SPMV_MATRICES, ids=lambda m: m.name)
+    def test_scaled_generation_properties(self, info):
+        a = generate_matrix(info.name, scale=0.1)
+        assert a.n_rows == a.n_cols
+        assert a.nnz > 0
+        # average row length within a factor of ~2 of the original's
+        orig_per_row = info.nnz / info.rows
+        got_per_row = a.nnz / a.n_rows
+        assert 0.5 * orig_per_row < got_per_row < 2.0 * orig_per_row
+
+    def test_full_scale_row_counts_exact(self):
+        # row counts are part of Table 4; only the QCD lattice may round
+        # to preserve its 12-component block structure
+        for info in SPMV_MATRICES:
+            a = generate_matrix(info.name)
+            if info.family != "qcd-lattice":
+                assert a.n_rows == info.rows
+            assert a.nnz == pytest.approx(info.nnz, rel=0.1)
+
+    def test_qcd_lattice_exact(self):
+        info = matrix_info("conf5_4-8x8-10")
+        a = generate_matrix(info.name)
+        assert a.n_rows == info.rows
+        assert a.nnz == info.nnz
+        # constant row length, a defining QCD property
+        assert np.all(a.row_lengths() == 39)
+
+    def test_stiffness_is_symmetric(self):
+        a = generate_matrix("bcsstk39", scale=0.05)
+        np.testing.assert_allclose(a.to_dense(), a.to_dense().T, atol=1e-15)
+
+    def test_deterministic(self):
+        a = generate_matrix("Chevron1", scale=0.1, seed=9)
+        # bypass the cache to confirm determinism of the generator itself
+        from repro.datasets import suitesparse as ss
+        b = ss._generate_matrix_uncached("Chevron1", 0.1, 9)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_cache_returns_same_object(self):
+        assert generate_matrix("Chevron1", scale=0.1) is \
+            generate_matrix("Chevron1", scale=0.1)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            matrix_info("nd24k")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate_matrix("Chevron1", scale=0.0)
+
+
+class TestGraphStandins:
+    def test_mycielskian_counts(self):
+        # |V(M_k)| = 3 * 2^(k-2) - 1; edge recurrence E' = 3E + V
+        v, e = 2, 1
+        for order in range(3, 13):
+            e, v = 3 * e + v, 2 * v + 1
+            src, dst, n = mycielskian(order)
+            assert n == v == 3 * 2 ** (order - 2) - 1
+            assert len(src) == 2 * e  # both directions stored
+
+    def test_mycielskian_is_triangle_free_small(self):
+        src, dst, n = mycielskian(4)  # Grötzsch graph, 11 vertices
+        g = nx.Graph(zip(src.tolist(), dst.tolist()))
+        assert len(nx.triangles(g)) == 11
+        assert sum(nx.triangles(g).values()) == 0
+
+    def test_mycielskian_chromatic_growth(self):
+        # degree of the apex vertex equals |V| of the previous level
+        src, dst, n = mycielskian(5)
+        g = nx.Graph(zip(src.tolist(), dst.tolist()))
+        assert g.degree[n - 1] == 11  # |V(M4)| = 11
+
+    def test_mycielskian_validation(self):
+        with pytest.raises(ValueError):
+            mycielskian(1)
+
+    def test_kronecker_sizes(self):
+        src, dst, n = kronecker_edges(10, 8, Lcg(1))
+        assert n == 1024
+        assert len(src) == 8192
+        assert src.max() < n and dst.max() < n
+
+    def test_kronecker_degree_skew(self):
+        src, dst, n = kronecker_edges(12, 16, Lcg(2))
+        deg = np.bincount(src, minlength=n)
+        # R-MAT graphs are heavy tailed: max degree far above the mean
+        assert deg.max() > 10 * deg.mean()
+
+    @pytest.mark.parametrize("info", BFS_GRAPHS, ids=lambda g: g.name)
+    def test_generated_graph_matches_catalog(self, info):
+        src, dst, n = generate_graph(info.name)
+        assert n == info.gen_vertices or info.family in ("mycielskian",
+                                                         "kronecker")
+        # self-loop removal trims a few percent (R-MAT concentrates mass
+        # on the diagonal, so the web graphs lose the most)
+        assert len(src) == pytest.approx(info.gen_edges, rel=0.10)
+        assert src.min() >= 0 and dst.max() < n
+        assert np.all(src != dst)
+
+    def test_graph_largest_component_reasonable(self):
+        # BFS from a random source must reach a sizable component
+        src, dst, n = generate_graph("kron_g500-logn21")
+        g = nx.DiGraph(zip(src.tolist(), dst.tolist()))
+        biggest = max(len(c) for c in nx.weakly_connected_components(g))
+        assert biggest > 0.3 * g.number_of_nodes()
+
+    def test_graph_to_csr_unit_weights(self):
+        src, dst, n = generate_graph("mycielskian17")
+        a = graph_to_csr(src, dst, n)
+        assert np.all(a.data == 1.0)
+        assert a.shape == (n, n)
+
+    def test_unknown_graph(self):
+        with pytest.raises(ValueError):
+            graph_info("road_usa")
+
+
+class TestPopulations:
+    def test_matrix_population_count_and_variety(self):
+        mats = list(matrix_population(count=24, max_rows=256))
+        assert len(mats) == 24
+        rows = {m.n_rows for m in mats}
+        assert len(rows) > 5  # sizes vary
+        densities = [m.nnz / m.n_rows ** 2 for m in mats]
+        assert max(densities) > 3 * min(densities)
+
+    def test_graph_population_families_differ(self):
+        graphs = list(graph_population(count=8, max_vertices=512))
+        assert len(graphs) == 8
+        # power-law family should show higher max out-degree than uniform
+        degs = []
+        for src, dst, n in graphs:
+            d = np.bincount(src, minlength=n)
+            degs.append(d.max() / max(d.mean(), 1e-9))
+        assert max(degs) > 2 * min(degs)
+
+    def test_populations_deterministic(self):
+        a = [m.nnz for m in matrix_population(count=6, seed=3)]
+        b = [m.nnz for m in matrix_population(count=6, seed=3)]
+        assert a == b

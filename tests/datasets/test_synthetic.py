@@ -1,0 +1,101 @@
+"""Tests for the LINPACK-style LCG generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import _A, _C, _MASK, Lcg, default_rng
+
+
+def scalar_reference(seed, n):
+    """Straightforward scalar implementation of the same LCG."""
+    s = (seed ^ _A) & _MASK
+    out = np.empty(n)
+    for i in range(n):
+        s = (_A * s + _C) & _MASK
+        out[i] = s / float(1 << 48)
+    return out
+
+
+class TestLcgExactness:
+    def test_uniform48_matches_scalar_reference(self):
+        g = Lcg(1325)
+        got = g.uniform48(5000)
+        np.testing.assert_array_equal(got, scalar_reference(1325, 5000))
+
+    def test_state_advances_across_calls(self):
+        g = Lcg(7)
+        a = g.uniform48(1500)
+        b = g.uniform48(700)
+        ref = scalar_reference(7, 2200)
+        np.testing.assert_array_equal(np.concatenate([a, b]), ref)
+
+    def test_uniform_combines_two_draws(self):
+        g = Lcg(7)
+        got = g.uniform(100, 0.0, 1.0)
+        raw = scalar_reference(7, 200)
+        ref = raw[0::2] + raw[1::2] / float(1 << 48)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_uniform_fills_mantissa(self):
+        # sums in different orders must be able to differ (Table 6 depends
+        # on it); 48-bit dyadic values would sum exactly in any order
+        v = Lcg(3).uniform(4096)
+        seq = 0.0
+        for t in v:
+            seq += t
+        pair = v.reshape(-1, 2).sum(axis=1)
+        tree = float(pair.sum())
+        assert seq != tree
+
+    @given(st.integers(0, 2**31), st.integers(1, 3000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_leapfrog_exact(self, seed, n):
+        g = Lcg(seed)
+        np.testing.assert_array_equal(g.uniform48(n),
+                                      scalar_reference(seed, n))
+
+    def test_same_seed_same_sequence(self):
+        np.testing.assert_array_equal(Lcg(3).uniform(100), Lcg(3).uniform(100))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(Lcg(3).uniform(100), Lcg(4).uniform(100))
+
+
+class TestLcgApi:
+    def test_default_range_paper(self):
+        v = default_rng().uniform(100000)
+        assert v.min() >= -2.0 and v.max() < 2.0
+        assert abs(v.mean()) < 0.05  # roughly centred
+
+    def test_shape(self):
+        assert Lcg(1).uniform(12, shape=(3, 4)).shape == (3, 4)
+
+    def test_zero_length(self):
+        assert len(Lcg(1).uniform(0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg(1).uniform(-1)
+
+    def test_integers_range(self):
+        v = Lcg(1).integers(10000, 3, 9)
+        assert v.min() >= 3 and v.max() < 9
+        assert set(np.unique(v)) == set(range(3, 9))
+
+    def test_integers_validation(self):
+        with pytest.raises(ValueError):
+            Lcg(1).integers(5, 3, 3)
+
+    def test_choice_mask_probability(self):
+        m = Lcg(1).choice_mask(100000, 0.3)
+        assert abs(m.mean() - 0.3) < 0.01
+
+    def test_choice_mask_validation(self):
+        with pytest.raises(ValueError):
+            Lcg(1).choice_mask(5, 1.5)
+
+    def test_permutation_is_permutation(self):
+        p = Lcg(5).permutation(1000)
+        assert np.array_equal(np.sort(p), np.arange(1000))

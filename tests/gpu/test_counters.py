@@ -1,0 +1,122 @@
+"""Tests for KernelStats accounting."""
+
+import pytest
+
+from repro.gpu.counters import AccessStream, KernelStats
+
+
+class TestAccessStream:
+    def test_valid(self):
+        s = AccessStream(1024, 32, "read")
+        assert s.total_bytes == 1024
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(total_bytes=-1, segment_bytes=32),
+        dict(total_bytes=10, segment_bytes=0),
+        dict(total_bytes=10, segment_bytes=8, kind="scan"),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AccessStream(**kwargs)
+
+
+class TestMmaAccounting:
+    def test_fp64_mma_flops(self):
+        st = KernelStats()
+        st.add_mma_fp64(10)
+        assert st.tc_flops == 2 * 8 * 8 * 4 * 10
+        assert st.mma_instructions == 10
+        assert st.cc_flops == 0
+
+    def test_cc_replacement_same_flops_other_pipe(self):
+        tc, cc = KernelStats(), KernelStats()
+        tc.add_mma_fp64(100)
+        cc.add_mma_as_fma(100)
+        assert tc.tc_flops == cc.cc_flops
+        assert cc.tc_flops == 0
+
+    def test_full_utilization_by_default(self):
+        st = KernelStats()
+        st.add_mma_fp64(5)
+        assert st.input_utilization == 1.0
+        assert st.output_utilization == 1.0
+
+    def test_partial_output_utilization(self):
+        st = KernelStats()
+        # GEMV-style: only the 8-element diagonal of each 8x8 output is used
+        st.add_mma_fp64(4, output_useful=4 * 8)
+        assert st.output_utilization == pytest.approx(8 / 64)
+
+    def test_partial_input_utilization(self):
+        st = KernelStats()
+        # Scan-style: constant operand not loaded => half the input useful
+        st.add_mma_fp64(2, input_useful=2 * 32)
+        assert st.input_utilization == pytest.approx(0.5)
+
+    def test_bit_mma(self):
+        st = KernelStats()
+        st.add_mma_b1(3)
+        assert st.tc_b1_ops == 2 * 8 * 8 * 128 * 3
+        assert st.total_flops == 0
+
+    def test_zero_utilization_when_no_mma(self):
+        st = KernelStats()
+        assert st.input_utilization == 0.0
+        assert st.output_utilization == 0.0
+
+
+class TestRedundancy:
+    def test_redundancy_ratio(self):
+        st = KernelStats()
+        st.add_mma_fp64(1)          # 512 flops executed
+        st.essential_flops = 64.0   # only diagonal essential
+        assert st.redundancy == pytest.approx(512 / 64)
+
+    def test_redundancy_defaults_to_one(self):
+        assert KernelStats().redundancy == 1.0
+
+
+class TestMemoryAndMerge:
+    def test_dram_bytes_sums_streams(self):
+        st = KernelStats()
+        st.read_dram(1000, 8)
+        st.write_dram(500, 128)
+        assert st.dram_bytes == 1500
+        assert len(st.dram) == 2
+
+    def test_zero_byte_streams_skipped(self):
+        st = KernelStats()
+        st.read_dram(0)
+        assert st.dram == []
+
+    def test_merge_accumulates_everything(self):
+        a, b = KernelStats(), KernelStats()
+        a.add_mma_fp64(1)
+        a.read_dram(100, 8)
+        b.add_fma(64)
+        b.write_dram(50, 8)
+        b.l1_bytes = 10
+        a.merge(b)
+        assert a.tc_flops == 512 and a.cc_flops == 64
+        assert a.dram_bytes == 150 and a.l1_bytes == 10
+
+    def test_arithmetic_intensity(self):
+        st = KernelStats()
+        st.add_mma_fp64(1)
+        st.read_dram(256, 256)
+        assert st.arithmetic_intensity() == pytest.approx(512 / 256)
+
+    def test_arithmetic_intensity_infinite_without_traffic(self):
+        st = KernelStats()
+        st.add_fma(10)
+        assert st.arithmetic_intensity() == float("inf")
+
+    def test_arithmetic_intensity_bit_ops(self):
+        st = KernelStats()
+        st.add_mma_b1(1)
+        st.read_dram(1024, 1024)
+        assert st.arithmetic_intensity() == pytest.approx(2 * 8 * 8 * 128 / 1024)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            KernelStats().arithmetic_intensity("l3")

@@ -1,0 +1,74 @@
+"""Tests for the PTX fragment layout maps."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import fragments
+
+
+class TestFragmentIndices:
+    def test_a_fragment_covers_tile_exactly_once(self):
+        seen = {fragments.a_fragment_index(t) for t in range(32)}
+        assert seen == {(r, c) for r in range(8) for c in range(4)}
+
+    def test_b_fragment_covers_tile_exactly_once(self):
+        seen = {fragments.b_fragment_index(t) for t in range(32)}
+        assert seen == {(r, c) for r in range(4) for c in range(8)}
+
+    def test_c_fragment_covers_tile_exactly_once(self):
+        seen = {fragments.c_fragment_index(t, r) for t in range(32) for r in (0, 1)}
+        assert seen == {(r, c) for r in range(8) for c in range(8)}
+        assert len(seen) == 64
+
+    def test_a_fragment_lane0_owns_origin(self):
+        assert fragments.a_fragment_index(0) == (0, 0)
+
+    def test_b_fragment_is_column_major(self):
+        # lanes 0..3 walk down the first column of B
+        assert [fragments.b_fragment_index(t)[0] for t in range(4)] == [0, 1, 2, 3]
+        assert all(fragments.b_fragment_index(t)[1] == 0 for t in range(4))
+
+    def test_c_fragment_pairs_are_adjacent_columns(self):
+        for lane in range(32):
+            r0, c0 = fragments.c_fragment_index(lane, 0)
+            r1, c1 = fragments.c_fragment_index(lane, 1)
+            assert r0 == r1
+            assert c1 == c0 + 1
+
+    @pytest.mark.parametrize("lane", [-1, 32, 100])
+    def test_out_of_range_lane_rejected(self, lane):
+        with pytest.raises(ValueError):
+            fragments.a_fragment_index(lane)
+
+    def test_bad_c_register_rejected(self):
+        with pytest.raises(ValueError):
+            fragments.c_fragment_index(0, 2)
+
+
+class TestDistributeCollect:
+    def test_distribute_collect_c_roundtrip(self):
+        rng = np.random.default_rng(1)
+        c = rng.standard_normal((8, 8))
+        assert np.array_equal(fragments.collect_c(fragments.distribute_c(c)), c)
+
+    def test_distribute_a_values(self):
+        a = np.arange(32, dtype=float).reshape(8, 4)
+        regs = fragments.distribute_a(a)
+        for lane in range(32):
+            r, c = fragments.a_fragment_index(lane)
+            assert regs[lane] == a[r, c]
+
+    def test_distribute_b_values(self):
+        b = np.arange(32, dtype=float).reshape(4, 8)
+        regs = fragments.distribute_b(b)
+        for lane in range(32):
+            r, c = fragments.b_fragment_index(lane)
+            assert regs[lane] == b[r, c]
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fragments.distribute_a(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            fragments.distribute_b(np.zeros((8, 4)))
+        with pytest.raises(ValueError):
+            fragments.collect_c(np.zeros((32, 3)))

@@ -1,0 +1,75 @@
+"""Tests for the MMA instruction-set registry."""
+
+import pytest
+
+from repro.gpu.isa import (
+    MMA_SHAPES,
+    MmaShape,
+    Precision,
+    find_shape,
+    instruction_name,
+    shapes_for,
+)
+
+
+class TestPrecision:
+    def test_bit_widths(self):
+        assert Precision.FP64.bits == 64
+        assert Precision.FP16.bits == 16
+        assert Precision.B1.bits == 1
+        assert Precision.FP32.bits == 19  # TF32's reduced mantissa form
+
+
+class TestShapes:
+    def test_fp64_workhorse_shape(self):
+        s = find_shape(Precision.FP64, 8, 8, 4)
+        assert s.since == "Ampere"
+        assert s.ops_per_instruction == 512
+        assert s.a_elements == 32 and s.b_elements == 32
+        assert s.c_elements == 64
+        assert s.elements_per_lane == (1.0, 1.0, 2.0)
+
+    def test_berrybees_bit_shape(self):
+        s = find_shape(Precision.B1, 8, 8, 128)
+        assert s.since == "Turing"
+        assert s.ops_per_instruction == 2 * 8 * 8 * 128
+
+    def test_instruction_names(self):
+        s = find_shape(Precision.FP64, 8, 8, 4)
+        assert instruction_name(s) == "mma.sync.m8n8k4.f64"
+        assert s.name() == "mma.sync.m8n8k4.f64"
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            find_shape(Precision.FP64, 16, 16, 16)
+
+    def test_catalog_unique(self):
+        keys = [(s.precision, s.m, s.n, s.k) for s in MMA_SHAPES]
+        assert len(keys) == len(set(keys))
+
+
+class TestGenerationSupport:
+    def test_volta_has_only_fp16(self):
+        shapes = shapes_for("Volta")
+        assert {s.precision for s in shapes} == {Precision.FP16}
+
+    def test_fp64_arrives_with_ampere(self):
+        assert not shapes_for("Turing", Precision.FP64)
+        assert shapes_for("Ampere", Precision.FP64)
+        assert shapes_for("Hopper", Precision.FP64)
+
+    def test_support_is_cumulative(self):
+        prev: set[tuple] = set()
+        for arch in ("Volta", "Turing", "Ampere", "Hopper", "Blackwell"):
+            cur = {(s.precision, s.m, s.n, s.k) for s in shapes_for(arch)}
+            assert prev <= cur
+            prev = cur
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            shapes_for("Pascal")
+
+    def test_bit_mma_available_where_bfs_needs_it(self):
+        # the paper evaluates BerryBees on Ampere/Hopper/Blackwell
+        for arch in ("Ampere", "Hopper", "Blackwell"):
+            assert any(s.k == 128 for s in shapes_for(arch, Precision.B1))

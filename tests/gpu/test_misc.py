@@ -1,0 +1,61 @@
+"""Small coverage tests for helpers not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, KernelStats, all_devices
+from repro.gpu.power import PowerTrace
+
+
+class TestAllDevices:
+    def test_three_devices_in_paper_order(self):
+        devs = all_devices()
+        assert [d.spec.name for d in devs] == ["A100", "H200", "B200"]
+
+
+class TestPowerTraceEdge:
+    def test_empty_trace(self):
+        tr = PowerTrace(times_s=np.empty(0), power_w=np.empty(0))
+        assert tr.duration_s == 0.0
+        assert tr.average_power_w == 0.0
+        assert tr.energy_j == 0.0
+
+    def test_single_sample(self):
+        tr = PowerTrace(times_s=np.array([0.0]), power_w=np.array([100.0]))
+        assert tr.average_power_w == 100.0
+        assert tr.energy_j == 0.0
+
+    def test_constant_trace_energy(self):
+        tr = PowerTrace(times_s=np.array([0.0, 1.0, 2.0]),
+                        power_w=np.array([50.0, 50.0, 50.0]))
+        assert tr.energy_j == pytest.approx(100.0)
+        assert tr.edp == pytest.approx(50.0 * 4.0)
+
+
+class TestKernelResultDerived:
+    def test_achieved_bandwidth(self):
+        dev = Device("H200")
+        st = KernelStats()
+        st.read_dram(1e9, 1 << 20)
+        r = dev.resolve(st)
+        assert r.achieved_bandwidth == pytest.approx(1e9 / r.time_s)
+        # achieved <= streaming-efficiency-scaled peak
+        assert r.achieved_bandwidth <= dev.spec.dram_bw
+
+    def test_tflops_property(self):
+        dev = Device("H200")
+        st = KernelStats()
+        st.add_mma_fp64(1e9)
+        r = dev.resolve(st)
+        assert r.tflops == pytest.approx(r.flops / 1e12)
+
+
+class TestCountersMergeSemantics:
+    def test_merge_keeps_receiver_efficiencies(self):
+        a = KernelStats(tc_efficiency=0.6, mlp=0.8, serial_stages=4)
+        b = KernelStats(tc_efficiency=0.1, mlp=0.1, serial_stages=99)
+        a.merge(b)
+        # merge accumulates work, not execution-context knobs
+        assert a.tc_efficiency == 0.6
+        assert a.mlp == 0.8
+        assert a.serial_stages == 4

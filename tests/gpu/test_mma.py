@@ -1,0 +1,156 @@
+"""Tests for the functional MMA emulation, including the accumulation-order
+contract that underpins the paper's Table 6."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu import mma
+
+RNG = np.random.default_rng(42)
+
+
+def _tiles(batch=(), m=8, k=4, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-2, 2, batch + (m, k))
+    b = rng.uniform(-2, 2, batch + (k, n))
+    c = rng.uniform(-2, 2, batch + (m, n))
+    return a, b, c
+
+
+class TestMmaFp64:
+    def test_matches_matmul(self):
+        a, b, c = _tiles()
+        d = mma.mma_m8n8k4(a, b, c)
+        np.testing.assert_allclose(d, a @ b + c, rtol=1e-14)
+
+    def test_zero_c_default(self):
+        a, b, _ = _tiles()
+        np.testing.assert_allclose(mma.mma_m8n8k4(a, b), a @ b, rtol=1e-14)
+
+    def test_batched_matches_single(self):
+        a, b, c = _tiles(batch=(5,))
+        d = mma.mma_m8n8k4_batched(a, b, c)
+        for i in range(5):
+            np.testing.assert_array_equal(d[i], mma.mma_m8n8k4(a[i], b[i], c[i]))
+
+    def test_accumulation_order_is_k_sequential(self):
+        # reproduce the documented order by hand and demand bit-equality
+        a, b, c = _tiles(seed=7)
+        d = c.copy()
+        for k in range(4):
+            d = d + a[:, k:k + 1] * b[k:k + 1, :]
+        np.testing.assert_array_equal(mma.mma_m8n8k4(a, b, c), d)
+
+    def test_chained_mma_equals_fused_k(self):
+        # accumulating two m8n8k4 MMAs == one fused k=8 call (same order)
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-2, 2, (8, 8))
+        b = rng.uniform(-2, 2, (8, 8))
+        step = mma.mma_m8n8k4(a[:, :4], b[:4], None)
+        step = mma.mma_m8n8k4(a[:, 4:], b[4:], step)
+        fused = mma.mma_fp64_batched(a[np.newaxis], b[np.newaxis])[0]
+        np.testing.assert_array_equal(step, fused)
+
+    def test_broadcast_batch_dims(self):
+        a = RNG.uniform(-1, 1, (3, 1, 8, 4))
+        b = RNG.uniform(-1, 1, (1, 5, 4, 8))
+        d = mma.mma_m8n8k4_batched(a, b)
+        assert d.shape == (3, 5, 8, 8)
+        np.testing.assert_allclose(d, a @ b, atol=1e-14)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mma.mma_m8n8k4_batched(np.zeros((4, 8)), np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            mma.mma_m8n8k4_batched(np.zeros((8, 4)), np.zeros((8, 4)))
+        with pytest.raises(ValueError):
+            mma.mma_fp64_batched(np.zeros((8, 4)), np.zeros((3, 8)))
+        with pytest.raises(ValueError):
+            mma.mma_fp64_batched(np.zeros((8, 4)), np.zeros((4, 8)),
+                                 np.zeros((7, 8)))
+
+    def test_does_not_mutate_c(self):
+        a, b, c = _tiles(seed=11)
+        c_before = c.copy()
+        mma.mma_m8n8k4(a, b, c)
+        np.testing.assert_array_equal(c, c_before)
+
+    @given(hnp.arrays(np.float64, (8, 4),
+                      elements=st.floats(-2, 2, allow_nan=False)),
+           hnp.arrays(np.float64, (4, 8),
+                      elements=st.floats(-2, 2, allow_nan=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_property_close_to_matmul(self, a, b):
+        d = mma.mma_m8n8k4(a, b)
+        np.testing.assert_allclose(d, a @ b, atol=1e-13)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_deterministic(self, seed):
+        a, b, c = _tiles(seed=seed)
+        np.testing.assert_array_equal(mma.mma_m8n8k4(a, b, c),
+                                      mma.mma_m8n8k4(a, b, c))
+
+
+class TestWarpGemm:
+    def test_matches_batched_primitive_bitwise(self):
+        a, b, _ = _tiles(seed=9)
+        np.testing.assert_array_equal(mma.warp_gemm_m8n8k4(a, b),
+                                      mma.mma_m8n8k4(a, b))
+
+
+class TestBitMma:
+    def test_matches_integer_matmul(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((8, 128)) < 0.25
+        b = rng.random((128, 8)) < 0.25
+        d = mma.mma_m8n8k128_b1(a, b)
+        np.testing.assert_array_equal(d, a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_accumulator(self):
+        rng = np.random.default_rng(6)
+        a = rng.random((8, 128)) < 0.5
+        b = rng.random((128, 8)) < 0.5
+        c = rng.integers(0, 100, (8, 8))
+        d = mma.mma_m8n8k128_b1(a, b, c)
+        np.testing.assert_array_equal(
+            d, a.astype(np.int64) @ b.astype(np.int64) + c)
+
+    def test_all_ones_gives_k(self):
+        a = np.ones((8, 128), dtype=bool)
+        b = np.ones((128, 8), dtype=bool)
+        np.testing.assert_array_equal(mma.mma_m8n8k128_b1(a, b),
+                                      np.full((8, 8), 128))
+
+    def test_pack_bits_roundtrip_popcount(self):
+        rng = np.random.default_rng(8)
+        bits = rng.random((8, 128)) < 0.37
+        words = mma.pack_bits_rows(bits)
+        assert words.shape == (8, 2)
+        total = int(bits.sum())
+        packed_total = sum(bin(int(w)).count("1") for w in words.ravel())
+        assert packed_total == total
+
+    def test_pack_bits_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            mma.pack_bits_rows(np.zeros((8, 64), dtype=bool))
+
+    def test_batched_bit_mma(self):
+        rng = np.random.default_rng(12)
+        a = rng.random((10, 8, 128)) < 0.3
+        b = rng.random((10, 8, 128)) < 0.3  # packed as columns of B
+        aw = mma.pack_bits_rows(a)
+        bw = mma.pack_bits_rows(b)
+        d = mma.mma_b1_batched(aw, bw)
+        assert d.shape == (10, 8, 8)
+        for i in range(10):
+            ref = a[i].astype(np.int64) @ b[i].T.astype(np.int64)
+            np.testing.assert_array_equal(d[i], ref)
+
+    def test_bad_packed_shape_rejected(self):
+        with pytest.raises(ValueError):
+            mma.mma_b1_batched(np.zeros((8, 3), dtype=np.uint64),
+                               np.zeros((8, 2), dtype=np.uint64))

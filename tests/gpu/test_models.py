@@ -1,0 +1,220 @@
+"""Tests for the memory, timing, and power models and the device facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    A100,
+    B200,
+    H200,
+    Device,
+    KernelStats,
+    MemoryModel,
+    TimingModel,
+    get_gpu,
+)
+from repro.gpu.counters import AccessStream
+from repro.gpu.power import PowerModel, geomean_edp
+
+
+class TestSpecs:
+    def test_tc_cc_ratio_two_on_ampere_hopper(self):
+        assert A100.tc_cc_ratio == pytest.approx(2.0, rel=0.01)
+        assert H200.tc_cc_ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_blackwell_fp64_regression(self):
+        # Figure 12: B200 FP64 TC peak below H200's, and TC:CC ratio of 1
+        assert B200.tc_fp64 < H200.tc_fp64
+        assert B200.tc_cc_ratio == pytest.approx(1.0)
+
+    def test_fp16_keeps_scaling(self):
+        assert A100.tc_fp16 < H200.tc_fp16 < B200.tc_fp16
+
+    def test_bandwidth_ordering(self):
+        assert A100.dram_bw < H200.dram_bw < B200.dram_bw
+
+    def test_get_gpu_case_insensitive(self):
+        assert get_gpu("h200") is H200
+
+    def test_get_gpu_unknown(self):
+        with pytest.raises(ValueError, match="unknown GPU"):
+            get_gpu("V100")
+
+    def test_l1_formula(self):
+        # BW_L1 = N_SM * N_LSU * W_access * f_clock (paper Figure 9)
+        assert H200.l1_bw_from_lsu() == pytest.approx(132 * 32 * 8 * 1.83e9)
+
+
+class TestMemoryModel:
+    def test_streaming_access_near_logical(self):
+        m = MemoryModel()
+        s = AccessStream(1 << 20, 1 << 20)
+        assert m.effective_stream_bytes(s) == pytest.approx(1 << 20, rel=0.001)
+
+    def test_scattered_doubles_waste_sectors(self):
+        m = MemoryModel(sector_bytes=32)
+        s = AccessStream(8000, 8)  # 1000 scattered doubles
+        # each 8B gather moves one 32B sector plus misalignment spill
+        assert m.effective_stream_bytes(s) == pytest.approx(1000 * 1.5 * 32)
+
+    def test_aligned_sector_multiple_no_spill(self):
+        m = MemoryModel(sector_bytes=32)
+        s = AccessStream(3200, 64)
+        assert m.effective_stream_bytes(s) == pytest.approx(3200)
+
+    def test_coalescing_efficiency_monotone_in_segment(self):
+        m = MemoryModel()
+        effs = []
+        for seg in (8, 32, 64, 256, 4096):
+            st_ = KernelStats()
+            st_.read_dram(1 << 16, seg)
+            effs.append(m.resolve(st_).coalescing_efficiency)
+        assert effs == sorted(effs)
+        assert effs[-1] == pytest.approx(1.0, rel=0.01)
+
+    def test_dram_time_scales_with_waste(self):
+        m = MemoryModel()
+        a, b = KernelStats(), KernelStats()
+        a.read_dram(1e6, 8)
+        b.read_dram(1e6, 1 << 20)
+        assert m.dram_time(a, 1e12) > m.dram_time(b, 1e12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MemoryModel(sector_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryModel(streaming_efficiency=0.0)
+
+    @given(st.floats(16, 1e9), st.floats(8, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_effective_at_least_logical(self, total, seg):
+        m = MemoryModel()
+        eff = m.effective_stream_bytes(AccessStream(total, seg))
+        assert eff >= total * 0.999
+
+
+class TestTimingModel:
+    def test_compute_bound_time(self):
+        tm = TimingModel(H200)
+        st_ = KernelStats(tc_efficiency=0.5)
+        st_.add_mma_fp64(1e9)  # 512 Gflop on TC
+        expected = 512e9 / (66.9e12 * 0.5)
+        assert tm.tensor_time(st_) == pytest.approx(expected)
+        assert tm.breakdown(st_).bottleneck == "tensor"
+
+    def test_memory_bound_time(self):
+        tm = TimingModel(H200)
+        st_ = KernelStats()
+        st_.add_mma_fp64(10)
+        st_.read_dram(1e9, 1 << 20)
+        assert tm.breakdown(st_).bottleneck == "dram"
+
+    def test_same_work_tc_vs_cc_ratio(self):
+        # identical flops on TC vs CC pipe: TC twice as fast on H200 given
+        # equal efficiencies, equal on B200
+        for spec, ratio in ((H200, 2.0), (B200, 1.0)):
+            tm = TimingModel(spec)
+            tc, cc = KernelStats(tc_efficiency=0.5, cc_efficiency=0.5), \
+                     KernelStats(tc_efficiency=0.5, cc_efficiency=0.5)
+            tc.add_mma_fp64(1e9)  # enough work to amortize launch overhead
+            cc.add_mma_as_fma(1e9)
+            assert tm.time(cc) / tm.time(tc) == pytest.approx(ratio, rel=0.05)
+
+    def test_launch_overhead_floor(self):
+        tm = TimingModel(H200)
+        assert tm.time(KernelStats()) == pytest.approx(H200.launch_overhead_s)
+
+    def test_throughput_uses_essential_flops(self):
+        tm = TimingModel(H200)
+        st_ = KernelStats()
+        st_.add_mma_fp64(1e6)
+        st_.essential_flops = st_.tc_flops / 8  # GEMV-style redundancy
+        assert tm.throughput(st_) == pytest.approx(
+            st_.essential_flops / tm.time(st_))
+
+    def test_l1_ceiling(self):
+        tm = TimingModel(H200)
+        st_ = KernelStats()
+        st_.l1_bytes = 1e9
+        assert tm.l1_time(st_) == pytest.approx(1e9 / H200.l1_bw)
+        assert tm.breakdown(st_).bottleneck == "l1"
+
+
+class TestPowerModel:
+    def _stats_compute(self):
+        st_ = KernelStats(tc_efficiency=0.5)
+        st_.add_mma_fp64(1e9)
+        return st_
+
+    def test_steady_power_between_idle_and_tdp(self):
+        pm = PowerModel(H200)
+        p = pm.steady_power(self._stats_compute())
+        assert H200.idle_w < p <= H200.tdp_w
+
+    def test_tensor_heavy_kernel_hotter_than_idlelike(self):
+        pm = PowerModel(H200)
+        busy = self._stats_compute()
+        light = KernelStats()
+        light.read_dram(100, 100)
+        assert pm.steady_power(busy) > pm.steady_power(light)
+
+    def test_trace_reproducible_and_bounded(self):
+        pm = PowerModel(H200)
+        st_ = self._stats_compute()
+        t1 = pm.trace(st_, repeats=1000)
+        t2 = pm.trace(st_, repeats=1000)
+        np.testing.assert_array_equal(t1.power_w, t2.power_w)
+        assert t1.power_w.max() <= H200.tdp_w
+        assert t1.power_w.min() >= 0.8 * H200.idle_w * 0.999
+
+    def test_trace_energy_close_to_steady_product(self):
+        pm = PowerModel(H200)
+        st_ = self._stats_compute()
+        tr = pm.trace(st_, repeats=100000, jitter_w=0.0)
+        steady = pm.steady_power(st_)
+        # long loop => ramp amortized away
+        assert tr.average_power_w == pytest.approx(steady, rel=0.02)
+
+    def test_edp_definition(self):
+        pm = PowerModel(H200)
+        st_ = self._stats_compute()
+        t = pm.timing.time(st_)
+        assert pm.edp(st_, repeats=10) == pytest.approx(
+            pm.steady_power(st_) * (10 * t) ** 2)
+
+    def test_geomean_edp(self):
+        assert geomean_edp([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geomean_edp([])
+        with pytest.raises(ValueError):
+            geomean_edp([1.0, -1.0])
+
+
+class TestDevice:
+    def test_resolve_consistency(self):
+        dev = Device("H200")
+        st_ = KernelStats()
+        st_.add_mma_fp64(1e6)
+        st_.read_dram(1e6, 4096)
+        r = dev.resolve(st_, output="x")
+        assert r.output == "x"
+        assert r.time_s == pytest.approx(dev.timing.time(st_))
+        assert r.energy_j == pytest.approx(r.power_w * r.time_s)
+        assert r.edp == pytest.approx(r.power_w * r.time_s ** 2)
+        assert r.edp_repeated(100) == pytest.approx(
+            r.power_w * (100 * r.time_s) ** 2)
+
+    def test_constructor_from_string_and_classmethods(self):
+        assert Device("a100").spec is A100
+        assert Device.h200().spec is H200
+        assert Device.b200().spec is B200
+
+    def test_b200_bandwidth_advantage_for_memory_bound(self):
+        st_ = KernelStats()
+        st_.add_mma_fp64(100)
+        st_.read_dram(1e9, 1 << 20)
+        t_h = Device("H200").resolve(st_).time_s
+        t_b = Device("B200").resolve(st_).time_s
+        assert t_b < t_h  # 8 TB/s beats 4 TB/s when memory-bound

@@ -1,0 +1,86 @@
+"""Tests for the SM occupancy model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.occupancy import (
+    DEFAULT_SM,
+    KernelResources,
+    SmResources,
+    device_parallelism,
+    occupancy,
+)
+from repro.gpu.specs import H200
+
+
+class TestKernelResources:
+    def test_warps_per_block(self):
+        assert KernelResources(256).warps_per_block == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threads_per_block=16),
+        dict(threads_per_block=100),
+        dict(threads_per_block=2048),
+        dict(threads_per_block=256, registers_per_thread=8),
+        dict(threads_per_block=256, registers_per_thread=300),
+        dict(threads_per_block=256, shared_per_block=-1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            KernelResources(**kwargs)
+
+
+class TestOccupancy:
+    def test_light_kernel_fully_occupies(self):
+        occ = occupancy(KernelResources(256, registers_per_thread=32))
+        assert occ.fraction == 1.0
+        assert occ.warps_per_sm == DEFAULT_SM.max_warps
+
+    def test_register_pressure_limits(self):
+        occ = occupancy(KernelResources(256, registers_per_thread=255))
+        assert occ.limiter == "registers"
+        assert occ.fraction < 0.5
+
+    def test_shared_memory_limits(self):
+        occ = occupancy(KernelResources(
+            128, shared_per_block=100 * 1024))
+        assert occ.limiter == "shared_memory"
+        assert occ.blocks_per_sm == 1
+
+    def test_block_slots_limit_tiny_blocks(self):
+        occ = occupancy(KernelResources(32, registers_per_thread=16))
+        # 32 blocks x 1 warp each = 32 warps, half the 64-warp ceiling
+        assert occ.limiter == "blocks"
+        assert occ.warps_per_sm == 32
+
+    def test_mlp_estimate_monotone_and_capped(self):
+        full = occupancy(KernelResources(256))
+        starved = occupancy(KernelResources(256, registers_per_thread=255))
+        assert full.mlp_estimate() == 1.0
+        assert starved.mlp_estimate() < full.mlp_estimate()
+        with pytest.raises(ValueError):
+            full.mlp_estimate(0)
+
+    def test_device_parallelism(self):
+        k = KernelResources(256)
+        assert device_parallelism(H200, k) == \
+            occupancy(k).warps_per_sm * H200.sms
+
+    @given(st.sampled_from([64, 128, 256, 512, 1024]),
+           st.integers(16, 255), st.integers(0, 160 * 1024))
+    @settings(max_examples=60, deadline=None)
+    def test_property_within_hardware_bounds(self, tpb, regs, smem):
+        occ = occupancy(KernelResources(tpb, regs, smem))
+        assert 0 <= occ.warps_per_sm <= DEFAULT_SM.max_warps
+        assert 0 <= occ.blocks_per_sm <= DEFAULT_SM.max_blocks
+        if occ.blocks_per_sm:
+            total_smem = occ.blocks_per_sm * smem
+            assert total_smem <= DEFAULT_SM.shared_memory
+
+    def test_custom_sm(self):
+        small = SmResources(max_warps=32, max_blocks=16,
+                            registers=32768, shared_memory=48 * 1024)
+        occ = occupancy(KernelResources(256), small)
+        assert occ.max_warps == 32
+        assert occ.warps_per_sm <= 32

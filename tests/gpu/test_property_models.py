@@ -1,0 +1,120 @@
+"""Property-based tests on the timing/memory/power models: physical
+monotonicities that must hold for any kernel profile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Device, KernelStats
+from repro.gpu.specs import ALL_GPUS
+
+DEV = Device("H200")
+
+
+def _stats(tc_flops=0.0, cc_flops=0.0, bytes_=0.0, seg=4096.0,
+           mlp=1.0, stages=1):
+    st_ = KernelStats()
+    if tc_flops:
+        st_.add_mma_fp64(tc_flops / 512.0)
+    if cc_flops:
+        st_.add_fma(cc_flops)
+    if bytes_:
+        st_.read_dram(bytes_, segment_bytes=seg)
+    st_.mlp = mlp
+    st_.serial_stages = stages
+    return st_
+
+
+class TestTimingMonotonicity:
+    @given(st.floats(1e6, 1e12), st.floats(1.1, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_flops_never_faster(self, flops, factor):
+        t1 = DEV.timing.time(_stats(tc_flops=flops))
+        t2 = DEV.timing.time(_stats(tc_flops=flops * factor))
+        assert t2 >= t1
+
+    @given(st.floats(1e3, 1e10), st.floats(1.1, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_bytes_never_faster(self, b, factor):
+        t1 = DEV.timing.time(_stats(bytes_=b))
+        t2 = DEV.timing.time(_stats(bytes_=b * factor))
+        assert t2 >= t1
+
+    @given(st.floats(1e4, 1e9), st.floats(0.1, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_mlp_never_faster(self, b, mlp):
+        t_full = DEV.timing.time(_stats(bytes_=b, mlp=1.0))
+        t_low = DEV.timing.time(_stats(bytes_=b, mlp=mlp))
+        assert t_low >= t_full
+
+    @given(st.floats(8, 1e5), st.floats(1e4, 1e8))
+    @settings(max_examples=40, deadline=None)
+    def test_smaller_segments_never_meaningfully_faster(self, seg, b):
+        # the half-sector misalignment spill makes the model only *almost*
+        # monotone near sector multiples; compare across a 16x gap with a
+        # hair of tolerance
+        t_big = DEV.timing.time(_stats(bytes_=b, seg=seg * 16))
+        t_small = DEV.timing.time(_stats(bytes_=b, seg=seg))
+        assert t_small >= t_big * 0.999
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_stages_add_latency_linearly(self, stages):
+        t1 = DEV.timing.time(_stats(bytes_=1e6, stages=1))
+        tn = DEV.timing.time(_stats(bytes_=1e6, stages=stages))
+        assert tn == pytest.approx(
+            t1 + (stages - 1) * DEV.spec.stage_latency_s)
+
+    @given(st.floats(1e6, 1e12))
+    @settings(max_examples=20, deadline=None)
+    def test_time_at_least_launch_overhead(self, flops):
+        assert DEV.timing.time(_stats(tc_flops=flops)) \
+            >= DEV.spec.launch_overhead_s
+
+
+class TestPowerBounds:
+    @given(st.floats(0, 1e12), st.floats(0, 1e12), st.floats(0, 1e10))
+    @settings(max_examples=60, deadline=None)
+    def test_power_between_idle_and_tdp_on_all_gpus(self, tf, cf, b):
+        st_ = _stats(tc_flops=tf, cc_flops=cf, bytes_=b)
+        for spec in ALL_GPUS:
+            dev = Device(spec.name)
+            p = dev.power.steady_power(st_)
+            assert spec.idle_w <= p <= spec.tdp_w
+
+    @given(st.floats(1e11, 1e13), st.floats(2.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_scaling_preserves_power(self, flops, factor):
+        # scaling compute and traffic together leaves every resource's
+        # utilization (and hence steady power) unchanged, modulo the
+        # launch-overhead amortization
+        small = _stats(tc_flops=flops, bytes_=flops / 10)
+        big = _stats(tc_flops=flops * factor, bytes_=flops * factor / 10)
+        assert DEV.power.steady_power(big) == pytest.approx(
+            DEV.power.steady_power(small), rel=0.03)
+
+    def test_compute_added_to_memory_bound_kernel_heats_it(self):
+        mem_only = _stats(bytes_=1e9)
+        with_compute = _stats(tc_flops=1e11, bytes_=1e9)
+        assert DEV.power.steady_power(with_compute) \
+            > DEV.power.steady_power(mem_only)
+
+
+class TestEnergyConsistency:
+    @given(st.floats(1e6, 1e11), st.floats(1e4, 1e9), st.integers(1, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_edp_scales_quadratically_with_repeats(self, f, b, reps):
+        st_ = _stats(tc_flops=f, bytes_=b)
+        r = DEV.resolve(st_)
+        assert r.edp_repeated(reps) == pytest.approx(r.edp * reps * reps,
+                                                     rel=1e-9)
+
+    @given(st.floats(1e6, 1e11), st.floats(1e4, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_resolve_consistent_fields(self, f, b):
+        st_ = _stats(tc_flops=f, bytes_=b)
+        r = DEV.resolve(st_)
+        assert r.energy_j == pytest.approx(r.power_w * r.time_s)
+        assert r.time_s == pytest.approx(r.breakdown.total_s)
+        assert np.isfinite(r.flops)

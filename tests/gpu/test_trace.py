@@ -1,0 +1,82 @@
+"""Tests for the execution timeline and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.gpu import Device, KernelStats, Timeline
+
+
+def _result(dev, flops=1e9, bytes_=1e6):
+    st = KernelStats()
+    st.add_mma_fp64(flops / 512.0)
+    st.read_dram(bytes_, 1 << 16)
+    return dev.resolve(st)
+
+
+class TestTimeline:
+    @pytest.fixture
+    def dev(self):
+        return Device("H200")
+
+    def test_record_advances_cursor(self, dev):
+        tl = Timeline(dev)
+        r = _result(dev)
+        e1 = tl.record("k1", r)
+        e2 = tl.record("k2", r, repeats=3)
+        assert e1.start_s == 0.0
+        assert e2.start_s == pytest.approx(e1.end_s)
+        assert e2.duration_s == pytest.approx(3 * r.time_s)
+        assert tl.total_s == pytest.approx(e2.end_s)
+
+    def test_gap_counts_against_utilization(self, dev):
+        tl = Timeline(dev)
+        r = _result(dev)
+        tl.record("k", r)
+        tl.gap(r.time_s)  # equal idle time -> 50% utilization
+        assert tl.utilization == pytest.approx(0.5)
+
+    def test_energy_includes_idle(self, dev):
+        tl = Timeline(dev)
+        r = _result(dev)
+        tl.record("k", r)
+        busy_only = tl.energy_j()
+        tl.gap(1.0)
+        assert tl.energy_j() == pytest.approx(
+            busy_only + dev.spec.idle_w, rel=1e-6)
+
+    def test_time_by_bottleneck(self, dev):
+        tl = Timeline(dev)
+        compute = _result(dev, flops=1e12, bytes_=1e3)
+        memory = _result(dev, flops=1e3, bytes_=1e9)
+        tl.record("c", compute)
+        tl.record("m", memory)
+        by = tl.time_by_bottleneck()
+        assert set(by) == {"tensor", "dram"}
+
+    def test_chrome_trace_is_valid_json(self, dev):
+        tl = Timeline(dev)
+        tl.record("k", _result(dev), repeats=2)
+        doc = json.loads(tl.to_chrome_trace())
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X"
+        assert ev["dur"] > 0
+        assert ev["args"]["power_w"] > 0
+
+    def test_text_gantt(self, dev):
+        tl = Timeline(dev)
+        tl.record("alpha", _result(dev))
+        tl.record("beta", _result(dev))
+        text = tl.to_text(width=30)
+        assert "alpha" in text and "beta" in text and "#" in text
+        assert Timeline(dev).to_text() == "(empty timeline)"
+
+    def test_validation(self, dev):
+        tl = Timeline(dev)
+        with pytest.raises(ValueError):
+            tl.record("k", _result(dev), repeats=0)
+        with pytest.raises(ValueError):
+            tl.gap(-1.0)
+
+    def test_empty_utilization(self, dev):
+        assert Timeline(dev).utilization == 0.0

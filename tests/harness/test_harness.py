@@ -1,0 +1,101 @@
+"""Tests for the runner, report formatting, and artifact flows."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.harness.artifact import QUICK_TEST_WORKLOADS, evaluate
+from repro.harness.report import (
+    format_seconds,
+    format_si,
+    format_speedups,
+    format_table,
+)
+from repro.harness.runner import run_performance, speedup_summary
+from repro.kernels import (
+    GemmWorkload,
+    GemvWorkload,
+    ReductionWorkload,
+    ScanWorkload,
+    Variant,
+)
+
+FAST = [GemmWorkload(), GemvWorkload(), ScanWorkload(), ReductionWorkload()]
+
+
+class TestReport:
+    def test_format_si(self):
+        assert format_si(1.23e12, "FLOP/s") == "1.23 TFLOP/s"
+        assert format_si(4.5e9) == "4.5 G"
+        assert format_si(999.0) == "999"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(3.2e-3) == "3.200 ms"
+        assert format_seconds(7.5e-6) == "7.50 us"
+
+    def test_format_table_alignment(self):
+        t = format_table(["a", "longheader"], [[1, 2], [333, 4]],
+                         title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert len({len(ln) for ln in lines[1:]}) <= 2  # aligned columns
+
+    def test_format_speedups_groups_by_workload(self):
+        sp = {("A100", "gemm"): 2.0, ("H200", "gemm"): 2.5,
+              ("A100", "scan"): 1.3, ("H200", "scan"): 1.4}
+        text = format_speedups(sp, "title")
+        assert "2.00x" in text and "1.40x" in text
+        assert text.splitlines()[0] == "title"
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_performance(workloads=FAST,
+                               devices=[Device("A100"), Device("H200")])
+
+    def test_record_count(self, records):
+        # 2 GPUs x (gemm 3 variants + gemv/scan/reduction 4) x 5 cases
+        assert len(records) == 2 * (3 + 4 + 4 + 4) * 5
+
+    def test_records_have_positive_times(self, records):
+        assert all(r.time_s > 0 for r in records)
+        assert all(r.power_w > 0 for r in records)
+
+    def test_speedup_summary_mean_of_cases(self, records):
+        sp = speedup_summary(records, Variant.TC, Variant.BASELINE)
+        manual = np.mean([
+            next(r.time_s for r in records
+                 if (r.gpu, r.workload, r.variant, r.case)
+                 == ("H200", "gemm", "baseline", c))
+            / next(r.time_s for r in records
+                   if (r.gpu, r.workload, r.variant, r.case)
+                   == ("H200", "gemm", "tc", c))
+            for c in {r.case for r in records if r.workload == "gemm"}])
+        assert sp[("H200", "gemm")] == pytest.approx(manual)
+
+    def test_speedup_summary_skips_missing_denominator(self, records):
+        sp = speedup_summary(records, Variant.CCE, Variant.TC)
+        assert ("H200", "gemm") not in sp     # gemm has no CC-E
+        assert ("H200", "gemv") in sp
+
+
+class TestArtifact:
+    def test_evaluate_writes_expected_files(self, tmp_path):
+        written = evaluate(["gemv", "scan"], tmp_path, gpu="H200")
+        assert {"Figure3_perf", "Figure4_TCvsBaseline", "Figure5_CCvsTC",
+                "Figure6_CCEvsTC", "Figure7_edp", "Figure8_power",
+                "all_error"} == set(written)
+        for path in written.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_error_csv_structure(self, tmp_path):
+        written = evaluate(["gemv"], tmp_path, gpu="H200")
+        lines = written["all_error"].read_text().strip().splitlines()
+        assert lines[0] == "workload,variant,average_error,max_error,samples"
+        assert len(lines) == 1 + 4  # gemv has four variants
+
+    def test_quick_test_workload_set_matches_appendix(self):
+        assert QUICK_TEST_WORKLOADS == ("spmv", "reduction", "scan", "fft")

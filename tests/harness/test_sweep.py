@@ -1,0 +1,76 @@
+"""Tests for the size-sweep and crossover analysis."""
+
+import pytest
+
+from repro.gpu import Device
+from repro.harness.sweep import (
+    SIZE_SWEEPS,
+    SweepPoint,
+    find_crossover,
+    sweep_sizes,
+)
+from repro.kernels import Variant
+
+DEV = Device("H200")
+
+
+class TestSweep:
+    def test_registry_covers_size_parameterized_workloads(self):
+        assert set(SIZE_SWEEPS) == {"gemm", "gemv", "fft", "stencil",
+                                    "scan", "reduction"}
+
+    def test_sweep_produces_point_per_size_and_variant(self):
+        pts = sweep_sizes("gemm", DEV)
+        sizes = SIZE_SWEEPS["gemm"][2]
+        assert len(pts) == 2 * len(sizes)
+        assert all(isinstance(p, SweepPoint) and p.time_s > 0 for p in pts)
+
+    def test_times_grow_with_size(self):
+        pts = [p for p in sweep_sizes("gemm", DEV) if p.variant == "tc"]
+        times = [p.time_s for p in sorted(pts, key=lambda p: p.size)]
+        assert times == sorted(times)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="no size sweep"):
+            sweep_sizes("bfs", DEV)
+
+    def test_variant_filter(self):
+        pts = sweep_sizes("gemv", DEV, variants=(Variant.CCE,))
+        assert {p.variant for p in pts} == {"cce"}
+
+
+class TestCrossover:
+    def _mk(self, entries):
+        return [SweepPoint("w", s, v, t, 0.0) for s, v, t in entries]
+
+    def test_simple_crossover(self):
+        pts = self._mk([(1, "baseline", 1.0), (1, "tc", 2.0),
+                        (2, "baseline", 2.0), (2, "tc", 1.5),
+                        (4, "baseline", 4.0), (4, "tc", 2.0)])
+        assert find_crossover(pts) == 2
+
+    def test_never_crosses(self):
+        pts = self._mk([(1, "baseline", 1.0), (1, "tc", 2.0),
+                        (2, "baseline", 1.0), (2, "tc", 2.0)])
+        assert find_crossover(pts) is None
+
+    def test_must_stay_ahead(self):
+        # wins at 2, falls behind at 4, wins again at 8 -> crossover is 8
+        pts = self._mk([(2, "baseline", 2.0), (2, "tc", 1.0),
+                        (4, "baseline", 1.0), (4, "tc", 2.0),
+                        (8, "baseline", 2.0), (8, "tc", 1.0)])
+        assert find_crossover(pts) == 8
+
+    def test_gemm_crossover_is_not_at_the_smallest_size(self):
+        pts = sweep_sizes("gemm", DEV)
+        x = find_crossover(pts)
+        assert x is not None
+        assert x > SIZE_SWEEPS["gemm"][2][0]
+
+    def test_launch_latency_dominates_tiny_problems(self):
+        # at the smallest GEMM size both variants are within 2x — the
+        # launch overhead floor compresses any compute advantage
+        pts = [p for p in sweep_sizes("gemm", DEV)
+               if p.size == SIZE_SWEEPS["gemm"][2][0]]
+        t = {p.variant: p.time_s for p in pts}
+        assert t["baseline"] / t["tc"] < 2.0

@@ -1,0 +1,39 @@
+"""Shared fixtures: small-scale workload instances for fast functional
+tests.  Scaled instances exercise the same code paths as the registered
+paper-scale ones."""
+
+import pytest
+
+from repro.kernels import (
+    BfsWorkload,
+    FftWorkload,
+    GemmWorkload,
+    GemvWorkload,
+    PicWorkload,
+    ReductionWorkload,
+    ScanWorkload,
+    SpgemmWorkload,
+    SpmvWorkload,
+    StencilWorkload,
+)
+
+
+def small_workloads():
+    return [
+        GemmWorkload(),
+        PicWorkload(),
+        FftWorkload(),
+        StencilWorkload(),
+        ScanWorkload(n_total=1 << 18, n_exec=1 << 15),
+        ReductionWorkload(n_total=1 << 18, n_exec=1 << 15),
+        BfsWorkload(),
+        GemvWorkload(),
+        SpmvWorkload(scale=0.08),
+        SpgemmWorkload(scale=0.08, exec_scale=0.08),
+    ]
+
+
+@pytest.fixture(scope="session", params=small_workloads(),
+                ids=lambda w: w.name)
+def workload(request):
+    return request.param

@@ -1,0 +1,130 @@
+"""Randomized workload execution: every variant must agree with the
+serial reference at arbitrary (small) sizes and seeds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Device
+from repro.kernels import (
+    FftWorkload,
+    GemmWorkload,
+    GemvWorkload,
+    PicWorkload,
+    ReductionWorkload,
+    ScanWorkload,
+    StencilWorkload,
+    Variant,
+)
+from repro.kernels.base import WorkloadCase
+
+DEV = Device("H200")
+
+
+class TestGemmFuzz:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12),
+           st.integers(0, 10000))
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_shapes(self, mt, nt, kt, seed):
+        m, n, k = 8 * mt, 8 * nt, 4 * kt
+        w = GemmWorkload()
+        case = WorkloadCase(label="fuzz", params={"m": m, "n": n, "k": k})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        for v in (Variant.TC, Variant.BASELINE):
+            out = w.execute(v, data, DEV).output
+            np.testing.assert_allclose(out, ref, atol=1e-10 * k)
+
+
+class TestGemvFuzz:
+    @given(st.integers(1, 64), st.integers(1, 6), st.integers(0, 10000))
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_shapes(self, mt, nt, seed):
+        m, n = 8 * mt, 4 * nt
+        w = GemvWorkload()
+        case = WorkloadCase(label="fuzz", params={"m": m, "n": n})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        for v in w.variants():
+            out = w.execute(v, data, DEV).output
+            np.testing.assert_allclose(out, ref, atol=1e-12 * n)
+
+
+class TestScanReductionFuzz:
+    @given(st.sampled_from([64, 128, 256, 512, 1024]),
+           st.integers(1, 64), st.integers(0, 10000))
+    @settings(max_examples=12, deadline=None)
+    def test_scan_any_segment_combo(self, seg, nseg, seed):
+        w = ScanWorkload()
+        case = WorkloadCase(label="fuzz",
+                            params={"segment": seg, "n": seg * nseg})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        for v in w.variants():
+            out = w.execute(v, data, DEV).output
+            np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    @given(st.sampled_from([64, 128, 256, 512, 1024]),
+           st.integers(1, 64), st.integers(0, 10000))
+    @settings(max_examples=12, deadline=None)
+    def test_reduction_any_segment_combo(self, seg, nseg, seed):
+        w = ReductionWorkload()
+        case = WorkloadCase(label="fuzz",
+                            params={"segment": seg, "n": seg * nseg})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        for v in w.variants():
+            out = w.execute(v, data, DEV).output
+            np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+class TestFftFuzz:
+    @given(st.sampled_from([16, 64, 256, 1024]), st.integers(1, 32),
+           st.integers(0, 10000))
+    @settings(max_examples=10, deadline=None)
+    def test_power_of_two_lengths(self, n, batch, seed):
+        w = FftWorkload()
+        case = WorkloadCase(label="fuzz",
+                            params={"n1": n, "n2": 1, "batch": batch})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        for v in w.variants():
+            out = w.execute(v, data, DEV).output
+            np.testing.assert_allclose(out, ref, atol=1e-9 * n)
+
+    @given(st.sampled_from([32, 128, 512]))
+    @settings(max_examples=6, deadline=None)
+    def test_non_power_of_four_uses_radix2_tail(self, n):
+        # 32, 128, 512 are powers of two but not of four
+        w = FftWorkload()
+        case = WorkloadCase(label="fuzz",
+                            params={"n1": n, "n2": 1, "batch": 4})
+        data = w.prepare(case)
+        out = w.execute(Variant.TC, data, DEV).output
+        np.testing.assert_allclose(out, np.fft.fft(data["x"], axis=-1),
+                                   atol=1e-9 * n)
+
+
+class TestStencilPicFuzz:
+    @given(st.integers(3, 40), st.integers(0, 10000))
+    @settings(max_examples=10, deadline=None)
+    def test_stencil_2d_any_grid(self, n, seed):
+        w = StencilWorkload()
+        case = WorkloadCase(label="fuzz",
+                            params={"kind": "star2d1r", "nx": n, "ny": n,
+                                    "nz": 1})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        out = w.execute(Variant.TC, data, DEV).output
+        np.testing.assert_allclose(out, ref, atol=1e-13)
+
+    @given(st.integers(1, 9), st.integers(0, 10000))
+    @settings(max_examples=10, deadline=None)
+    def test_pic_any_ensemble(self, n_shift, seed):
+        w = PicWorkload()
+        case = WorkloadCase(label="fuzz", params={"n": 8 << n_shift})
+        data = w.prepare(case, seed=seed)
+        ref = w.reference(data)
+        out = w.execute(Variant.TC, data, DEV).output
+        np.testing.assert_allclose(out, ref, atol=1e-12)

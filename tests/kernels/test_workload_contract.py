@@ -1,0 +1,207 @@
+"""Contract tests every Cubie workload must satisfy.
+
+These encode the paper's structural claims: five test cases per workload
+(Table 2), TC and CC bit-identical outputs (Table 6), CC-E and baseline
+rounding differently, counters populated on both evaluation paths, and the
+quadrant utilization signatures of Figure 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.kernels import Quadrant, Variant, all_workloads, get_workload
+
+DEV = Device("H200")
+
+
+def _outputs_equal(a, b) -> bool:
+    """Bitwise comparison that understands CSR outputs."""
+    if hasattr(a, "to_dense"):  # CsrMatrix
+        return (np.array_equal(a.data, b.data)
+                and np.array_equal(a.indices, b.indices))
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def _max_err(a, b) -> float:
+    if hasattr(a, "to_dense"):
+        return float(np.abs(a.to_dense() - b.to_dense()).max())
+    return float(np.abs(np.asarray(a) - np.asarray(b)).max())
+
+
+class TestSuiteStructure:
+    def test_ten_workloads_registered(self):
+        names = [w.name for w in all_workloads()]
+        assert names == ["gemm", "pic", "fft", "stencil", "scan",
+                         "reduction", "bfs", "gemv", "spmv", "spgemm"]
+
+    def test_get_workload(self):
+        assert get_workload("SPMV").name == "spmv"
+        with pytest.raises(ValueError):
+            get_workload("dgemm")
+
+    def test_quadrant_assignment_matches_figure2(self):
+        expect = {
+            "gemm": Quadrant.I, "pic": Quadrant.I, "fft": Quadrant.I,
+            "stencil": Quadrant.I, "scan": Quadrant.II,
+            "reduction": Quadrant.III, "bfs": Quadrant.IV,
+            "gemv": Quadrant.IV, "spmv": Quadrant.IV,
+            "spgemm": Quadrant.IV,
+        }
+        for w in all_workloads():
+            assert w.quadrant is expect[w.name]
+
+    def test_quadrant_one_has_no_cce(self):
+        for w in all_workloads():
+            if w.quadrant is Quadrant.I:
+                assert not w.has_cce
+                assert w.resolve_variant(Variant.CCE) is Variant.CC
+            else:
+                assert w.has_cce
+
+    def test_five_cases_each(self, workload):
+        assert len(workload.cases()) == 5
+        labels = [c.label for c in workload.cases()]
+        assert len(set(labels)) == 5
+
+    def test_pic_has_no_baseline(self):
+        pic = get_workload("pic")
+        assert Variant.BASELINE not in pic.variants()
+        assert pic.baseline_name == "-"
+
+    def test_bfs_not_floating_point(self):
+        assert not get_workload("bfs").floating_point
+        assert get_workload("gemm").floating_point
+
+
+class TestFunctionalExecution:
+    @pytest.fixture(scope="class")
+    def results(self, workload):
+        case = workload.exec_case(workload.representative_case())
+        data = workload.prepare(case)
+        ref = workload.reference(data)
+        out = {v: workload.execute(v, data, DEV) for v in workload.variants()}
+        return workload, ref, out
+
+    def test_all_variants_close_to_reference(self, results):
+        w, ref, out = results
+        for v, r in out.items():
+            if w.name == "bfs":
+                assert np.array_equal(r.output, ref), v
+            else:
+                assert _max_err(r.output, ref) < 1e-8, (w.name, v)
+
+    def test_tc_cc_bitwise_identical(self, results):
+        w, _, out = results
+        if Variant.CC in out:
+            assert _outputs_equal(out[Variant.TC].output,
+                                  out[Variant.CC].output)
+
+    def test_cce_rounds_differently(self, results):
+        w, _, out = results
+        if w.has_cce and w.floating_point:
+            assert not _outputs_equal(out[Variant.CCE].output,
+                                      out[Variant.TC].output), w.name
+
+    def test_baseline_rounds_differently_unless_same_order(self, results):
+        # FFT's Stockham baseline happens to share the reference order;
+        # every other floating-point baseline must differ from TC
+        w, _, out = results
+        if Variant.BASELINE in out and w.floating_point \
+                and w.name not in ("fft",):
+            assert not _outputs_equal(out[Variant.BASELINE].output,
+                                      out[Variant.TC].output), w.name
+
+    def test_deterministic_rerun(self, results):
+        w, _, out = results
+        case = w.exec_case(w.representative_case())
+        data = w.prepare(case)
+        again = w.execute(Variant.TC, data, DEV)
+        assert _outputs_equal(again.output, out[Variant.TC].output)
+
+    def test_positive_time_and_counters(self, results):
+        w, _, out = results
+        for v, r in out.items():
+            assert r.time_s > 0
+            assert r.stats.dram_bytes > 0, (w.name, v)
+            work = (r.stats.total_flops + r.stats.tc_b1_ops
+                    + r.stats.cc_int_ops)
+            assert work > 0, (w.name, v)
+
+    def test_tc_uses_tensor_pipe_cc_does_not(self, results):
+        w, _, out = results
+        tc = out[Variant.TC].stats
+        assert tc.tc_flops > 0 or tc.tc_b1_ops > 0
+        assert tc.cc_flops == 0
+        if Variant.CC in out:
+            cc = out[Variant.CC].stats
+            assert cc.tc_flops == 0 and cc.tc_b1_ops == 0
+            assert cc.cc_flops > 0 or cc.cc_int_ops > 0
+
+    def test_essential_flops_not_exceeding_executed(self, results):
+        w, _, out = results
+        tc = out[Variant.TC].stats
+        if w.floating_point:
+            assert tc.essential_flops > 0
+            assert tc.redundancy >= 1.0
+
+
+class TestAnalyticStats:
+    def test_analytic_matches_execution_at_same_size(self, workload):
+        """The analytic path must reproduce the executed counters when the
+        case needs no downscaling (graph/sparse workloads evaluate the
+        analytic path by running the same traversal)."""
+        w = workload
+        case = w.exec_case(w.representative_case())
+        data = w.prepare(case)
+        for v in w.variants():
+            executed = w.execute(v, data, DEV).stats
+            analytic = (w.analytic_stats(v, case))
+            assert executed.tc_flops == pytest.approx(analytic.tc_flops,
+                                                      rel=1e-6)
+            assert executed.cc_flops == pytest.approx(analytic.cc_flops,
+                                                      rel=1e-6)
+            assert executed.dram_bytes == pytest.approx(
+                analytic.dram_bytes, rel=1e-6)
+
+    def test_paper_scale_stats_scale_up(self, workload):
+        """For size-swept workloads, counters at the largest paper case
+        dominate the smallest.  (Scan/Reduction sweep the *segment* size
+        over a fixed array, and the graph/matrix workloads sweep datasets,
+        so monotonicity only applies to the dense size sweeps.)"""
+        w = workload
+        if w.name not in ("gemm", "pic", "fft", "gemv", "stencil"):
+            pytest.skip("cases are not a monotone size sweep")
+        first, last = w.cases()[0], w.cases()[-1]
+        small = w.analytic_stats(Variant.TC, first)
+        big = w.analytic_stats(Variant.TC, last)
+        assert big.total_flops >= small.total_flops
+
+
+class TestQuadrantSignatures:
+    """Figure 2: input/output fragment utilization per quadrant."""
+
+    def test_quadrant1_full_input_full_output(self):
+        for name in ("gemm",):
+            st = get_workload(name).analytic_stats(
+                Variant.TC, get_workload(name).cases()[0])
+            assert st.input_utilization == pytest.approx(1.0)
+            assert st.output_utilization == pytest.approx(1.0)
+
+    def test_scan_partial_input_full_output(self):
+        w = get_workload("scan")
+        st = w.analytic_stats(Variant.TC, w.cases()[0])
+        assert st.input_utilization < 0.75
+        assert st.output_utilization == pytest.approx(1.0)
+
+    def test_reduction_partial_input_partial_output(self):
+        w = get_workload("reduction")
+        st = w.analytic_stats(Variant.TC, w.cases()[0])
+        assert st.input_utilization < 0.75
+        assert st.output_utilization < 0.25
+
+    def test_gemv_full_input_partial_output(self):
+        w = get_workload("gemv")
+        st = w.analytic_stats(Variant.TC, w.cases()[0])
+        assert st.input_utilization == pytest.approx(1.0)
+        assert st.output_utilization == pytest.approx(1 / 8)

@@ -1,0 +1,67 @@
+"""Tests for the ELL format and its padding comparison with DASP."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.dasp import DaspMatrix
+from repro.sparse.ell import EllMatrix
+
+
+def random_csr(n=40, density=0.15, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < density,
+                     rng.uniform(-2, 2, (n, n)), 0.0)
+    return CsrMatrix.from_dense(dense), dense
+
+
+class TestEll:
+    def test_roundtrip(self):
+        a, dense = random_csr()
+        e = EllMatrix.from_csr(a)
+        np.testing.assert_array_equal(e.to_csr().to_dense(), dense)
+
+    def test_width_is_max_row_length(self):
+        a, _ = random_csr(seed=1)
+        e = EllMatrix.from_csr(a)
+        assert e.width == int(a.row_lengths().max())
+        assert int(e.mask.sum()) == a.nnz
+
+    def test_spmv_matches_dense(self):
+        a, dense = random_csr(seed=2)
+        x = np.random.default_rng(3).uniform(-2, 2, a.n_cols)
+        np.testing.assert_allclose(EllMatrix.from_csr(a).spmv(x),
+                                   dense @ x, atol=1e-12)
+
+    def test_spmv_validates_x(self):
+        a, _ = random_csr()
+        with pytest.raises(ValueError):
+            EllMatrix.from_csr(a).spmv(np.ones(3))
+
+    def test_empty_matrix(self):
+        a = CsrMatrix.from_coo([], [], [], (5, 5))
+        e = EllMatrix.from_csr(a)
+        assert e.width == 0
+        np.testing.assert_array_equal(e.spmv(np.ones(5)), np.zeros(5))
+
+    def test_max_width_guard(self):
+        dense = np.zeros((8, 64))
+        dense[0, :] = 1.0   # one pathological row
+        dense[1:, 0] = 1.0
+        a = CsrMatrix.from_dense(dense)
+        with pytest.raises(ValueError, match="max_width"):
+            EllMatrix.from_csr(a, max_width=8)
+
+    def test_skewed_rows_pad_worse_than_dasp(self):
+        # the motivating comparison: one hub row forces ELL to pad every
+        # row to the hub width, while DASP groups sorted rows
+        n = 64
+        dense = np.zeros((n, n))
+        dense[0, :] = 1.0            # hub row: 64 nonzeros
+        for i in range(1, n):
+            dense[i, i] = 1.0        # all other rows: 1 nonzero
+        a = CsrMatrix.from_dense(dense)
+        ell = EllMatrix.from_csr(a)
+        dasp = DaspMatrix.from_csr(a)
+        assert ell.padding_fraction > 0.9
+        assert dasp.padding_fraction < ell.padding_fraction

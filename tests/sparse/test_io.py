@@ -1,0 +1,86 @@
+"""Tests for Matrix Market IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def roundtrip(a: CsrMatrix) -> CsrMatrix:
+    buf = io.StringIO()
+    write_matrix_market(buf, a, comment="test matrix")
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_general_real(self):
+        rng = np.random.default_rng(0)
+        dense = np.where(rng.random((12, 9)) < 0.3,
+                         rng.uniform(-2, 2, (12, 9)), 0.0)
+        a = CsrMatrix.from_dense(dense)
+        b = roundtrip(a)
+        np.testing.assert_array_equal(b.to_dense(), dense)
+
+    def test_file_path(self, tmp_path):
+        a = CsrMatrix.from_coo([0, 1], [1, 0], [2.5, -1.0], (2, 2))
+        p = tmp_path / "m.mtx"
+        write_matrix_market(p, a)
+        b = read_matrix_market(p)
+        np.testing.assert_array_equal(b.to_dense(), a.to_dense())
+
+    def test_empty_matrix(self):
+        a = CsrMatrix.from_coo([], [], [], (3, 4))
+        b = roundtrip(a)
+        assert b.shape == (3, 4) and b.nnz == 0
+
+
+class TestParsing:
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n" \
+               "2 2 2\n1 1\n2 2\n"
+        a = read_matrix_market(io.StringIO(text))
+        np.testing.assert_array_equal(a.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n" \
+               "% a comment\n" \
+               "3 3 2\n2 1 5.0\n3 3 1.0\n"
+        a = read_matrix_market(io.StringIO(text))
+        dense = a.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+        assert dense[2, 2] == 1.0
+        assert a.nnz == 3  # diagonal entry not duplicated
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n" \
+               "1 2 1\n1 2 7\n"
+        a = read_matrix_market(io.StringIO(text))
+        assert a.to_dense()[0, 1] == 7.0
+
+    @pytest.mark.parametrize("header", [
+        "not a header\n1 1 0\n",
+        "%%MatrixMarket matrix array real general\n",
+        "%%MatrixMarket matrix coordinate complex general\n",
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n",
+        "%%MatrixMarket matrix\n",
+    ])
+    def test_rejects_unsupported(self, header):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(header + "1 1 0\n"))
+
+    def test_truncated_file(self):
+        text = "%%MatrixMarket matrix coordinate real general\n" \
+               "2 2 2\n1 1 3.0\n"
+        with pytest.raises(ValueError, match="truncated"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_values_roundtrip_exactly(self):
+        # repr-based writing must preserve doubles bit-for-bit
+        vals = np.array([1/3, np.pi, 1e-300, -2.0000000000000004])
+        a = CsrMatrix.from_coo([0, 1, 2, 3], [0, 1, 2, 3], vals, (4, 4))
+        b = roundtrip(a)
+        np.testing.assert_array_equal(b.data, vals)

@@ -1,0 +1,115 @@
+"""Property-based tests over the sparse-format substrates: every format
+must preserve all nonzeros of arbitrary CSR inputs, and the SpMV paths
+must agree with the dense product."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.mma import mma_m8n8k4_batched
+from repro.sparse.bitmap import SLICE_ROWS, TILE_COLS, BitmapGraph
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.dasp import DaspMatrix
+from repro.sparse.ell import EllMatrix
+from repro.sparse.mbsr import MbsrMatrix
+
+
+@st.composite
+def csr_matrices(draw, max_n=48):
+    n_rows = draw(st.integers(1, max_n))
+    n_cols = draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, n_rows * n_cols // 2 + 1))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    vals = rng.uniform(-2, 2, nnz)
+    return CsrMatrix.from_coo(rows, cols, vals, (n_rows, n_cols))
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_dasp_preserves_every_nonzero(a):
+    d = DaspMatrix.from_csr(a)
+    assert d.nnz == a.nnz
+    assert int(d.mask.sum()) == a.nnz
+    np.testing.assert_allclose(np.sort(d.values[d.mask]), np.sort(a.data))
+
+
+@given(csr_matrices(max_n=32))
+@settings(max_examples=30, deadline=None)
+def test_dasp_mma_spmv_matches_dense(a):
+    if a.n_rows != a.n_cols:
+        a = CsrMatrix.from_coo(a.row_of_entry(), a.indices, a.data,
+                               (max(a.shape), max(a.shape)))
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-2, 2, a.n_cols)
+    d = DaspMatrix.from_csr(a)
+    b = d.gather_b_tiles(x)
+    acc = np.zeros((d.n_groups, 8, 8))
+    starts = d.group_offsets[:-1]
+    for s in range(int(d.group_steps.max()) if d.n_groups else 0):
+        has = d.group_steps > s
+        acc[has] = mma_m8n8k4_batched(d.values[starts[has] + s],
+                                      b[starts[has] + s], acc[has])
+    y = np.zeros(a.n_rows)
+    y[d.row_perm] = acc[:, np.arange(8), np.arange(8)].reshape(-1)[
+        :a.n_rows]
+    np.testing.assert_allclose(y, a.to_dense() @ x, atol=1e-10)
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_mbsr_roundtrip(a):
+    np.testing.assert_array_equal(MbsrMatrix.from_csr(a).to_csr().to_dense(),
+                                  a.to_dense())
+
+
+@given(csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_ell_roundtrip_and_spmv(a):
+    e = EllMatrix.from_csr(a)
+    np.testing.assert_array_equal(e.to_csr().to_dense(), a.to_dense())
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-2, 2, a.n_cols)
+    np.testing.assert_allclose(e.spmv(x), a.to_dense() @ x, atol=1e-10)
+
+
+@given(csr_matrices())
+@settings(max_examples=30, deadline=None)
+def test_spmv_orders_agree_numerically(a):
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-2, 2, a.n_cols)
+    dense = a.to_dense() @ x
+    np.testing.assert_allclose(a.spmv_serial(x), dense, atol=1e-10)
+    np.testing.assert_allclose(a.spmv_warp_tree(x), dense, atol=1e-10)
+
+
+@given(st.integers(2, 400), st.integers(0, 3000), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_bitmap_preserves_every_edge(n, m, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    g = BitmapGraph.from_edges(src, dst, n)
+    # count set bits and compare with distinct edges
+    distinct = len(np.unique(src * n + dst))
+    bits = np.unpackbits(
+        g.tiles.view(np.uint8).reshape(g.n_tiles, SLICE_ROWS, 16),
+        axis=-1, bitorder="little") if g.n_tiles else np.zeros((0,))
+    assert int(bits.sum()) == distinct
+    # every stored tile is non-empty and correctly indexed
+    if g.n_tiles:
+        per_tile = bits.reshape(g.n_tiles, -1).sum(axis=1)
+        assert per_tile.min() >= 1
+        assert g.tile_slice.max() < (n + SLICE_ROWS - 1) // SLICE_ROWS
+        assert g.tile_cblock.max() < (n + TILE_COLS - 1) // TILE_COLS
+
+
+@given(csr_matrices(max_n=24))
+@settings(max_examples=20, deadline=None)
+def test_transpose_involution(a):
+    np.testing.assert_array_equal(a.transpose().transpose().to_dense(),
+                                  a.to_dense())

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.gpu == ["A100", "H200", "B200"]
+        assert args.workload is None
+
+    def test_suitability_requires_flops_and_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suitability", "--flops", "1"])
+
+
+class TestCommands:
+    def test_quadrants(self, capsys):
+        assert main(["quadrants", "--workload", "gemm", "gemv"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "IV" in out
+
+    def test_perf_subset(self, capsys):
+        assert main(["perf", "--workload", "gemm", "--gpu", "H200"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 5" in out
+
+    def test_accuracy_subset(self, capsys):
+        assert main(["accuracy", "--workload", "gemv",
+                     "--gpu", "H200"]) == 0
+        out = capsys.readouterr().out
+        assert "gemv" in out and "baseline" in out
+
+    def test_roofline_subset(self, capsys):
+        assert main(["roofline", "--workload", "gemm",
+                     "--gpu", "H200"]) == 0
+        assert "tensor" in capsys.readouterr().out
+
+    def test_power_subset(self, capsys):
+        assert main(["power", "--workload", "gemm", "--gpu", "H200"]) == 0
+        assert "EDP" in capsys.readouterr().out
+
+    def test_suitability(self, capsys):
+        assert main(["suitability", "--flops", "1e12", "--bytes", "1e9",
+                     "--gpu", "H200"]) == 0
+        assert "strongly beneficial" in capsys.readouterr().out
+
+    def test_quicktest_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "qt"
+        assert main(["quicktest", "--out", str(out_dir)]) == 0
+        assert (out_dir / "all_error.csv").exists()
+        assert (out_dir / "Figure4_TCvsBaseline.txt").exists()

@@ -1,0 +1,81 @@
+"""Tests for the benchmark-suite comparison substrate (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, KernelStats
+from repro.kernels import GemmWorkload, GemvWorkload, ScanWorkload
+from repro.suites import (
+    METRIC_NAMES,
+    RODINIA_KERNELS,
+    SHOC_KERNELS,
+    metrics_for_stats,
+    suite_metric_points,
+)
+
+DEV = Device("H200")
+
+
+class TestMiniKernels:
+    def test_ten_kernels_per_suite(self):
+        assert len(RODINIA_KERNELS) == 10
+        assert len(SHOC_KERNELS) == 10
+        assert all(k.suite == "Rodinia" for k in RODINIA_KERNELS)
+        assert all(k.suite == "SHOC" for k in SHOC_KERNELS)
+
+    def test_names_unique_within_suite(self):
+        for suite in (RODINIA_KERNELS, SHOC_KERNELS):
+            names = [k.name for k in suite]
+            assert len(names) == len(set(names))
+
+    def test_all_stats_resolvable(self):
+        for k in RODINIA_KERNELS + SHOC_KERNELS:
+            r = DEV.resolve(k.stats())
+            assert r.time_s > 0
+            assert DEV.spec.idle_w <= r.power_w <= DEV.spec.tdp_w
+
+    def test_vector_suites_never_touch_tensor_pipe(self):
+        for k in RODINIA_KERNELS + SHOC_KERNELS:
+            st = k.stats()
+            assert st.tc_flops == 0 and st.tc_b1_ops == 0
+
+    def test_characteristic_profiles(self):
+        by = {k.name: k.stats() for k in RODINIA_KERNELS + SHOC_KERNELS}
+        # sgemm is the most compute-rich; triad is pure streaming
+        assert by["sgemm"].arithmetic_intensity() \
+            > by["triad"].arithmetic_intensity()
+        # spmv/sort have scattered access (small segments)
+        assert min(s.segment_bytes for s in by["spmv"].dram) <= 8
+        assert min(s.segment_bytes for s in by["triad"].dram) >= 1 << 16
+
+
+class TestMetrics:
+    def test_metric_vector_shape_and_ranges(self):
+        st = KernelStats()
+        st.add_mma_fp64(1e6)
+        st.read_dram(1e8, 1 << 16)
+        v = metrics_for_stats(st, DEV)
+        assert v.shape == (len(METRIC_NAMES),)
+        assert 0.0 <= v[0] <= 1.0   # memory efficiency
+        assert 0.0 <= v[1] <= 1.0   # compute throughput fraction
+        assert 0.0 <= v[2] <= 1.0 and 0.0 <= v[3] <= 1.0
+
+    def test_tensor_axis_separates_cubie(self):
+        tc = KernelStats()
+        tc.add_mma_fp64(1e9)
+        vec = KernelStats()
+        vec.add_fma(5.12e11)
+        v_tc = metrics_for_stats(tc, DEV)
+        v_vec = metrics_for_stats(vec, DEV)
+        assert v_tc[3] > 0.5        # tensor pipe utilization
+        assert v_vec[3] == 0.0
+
+    def test_suite_metric_points_labels(self):
+        pts = suite_metric_points(
+            [GemmWorkload(), ScanWorkload(), GemvWorkload()], DEV)
+        suites = {p.suite for p in pts}
+        assert suites == {"Rodinia", "SHOC", "Cubie"}
+        cubie = [p for p in pts if p.suite == "Cubie"]
+        # gemm 3 variants + scan 4 + gemv 4
+        assert len(cubie) == 11
+        assert all(np.isfinite(p.values).all() for p in pts)
