@@ -17,6 +17,8 @@ import numpy as np
 from ..gpu.device import Device
 from ..kernels.base import Quadrant, Variant, Workload
 from ..kernels import all_workloads
+from ..perf.executor import ParallelExecutor
+from ..perf.instrument import stage
 from .accuracy import accuracy_table
 from .edp import edp_study, quadrant_geomeans
 from .quadrants import classify
@@ -221,12 +223,32 @@ OBSERVATIONS: tuple[Callable, ...] = (
 )
 
 
-def verify_all(workloads: list[Workload] | None = None,
-               devices: list[Device] | None = None
-               ) -> list[ObservationResult]:
-    """Evaluate all nine observations; returns them in order."""
+def _run_observation(task: tuple[int, list[Workload] | None,
+                                 list[Device] | None]) -> ObservationResult:
+    """Worker: evaluate one observation by index.  ``None`` workloads or
+    devices are reconstructed in-process, so the task pickles cheaply when
+    fanned out to the default suite."""
+    idx, workloads, devices = task
     if workloads is None:
         workloads = all_workloads()
     if devices is None:
         devices = [Device("A100"), Device("H200"), Device("B200")]
-    return [fn(workloads, devices) for fn in OBSERVATIONS]
+    return OBSERVATIONS[idx](workloads, devices)
+
+
+def verify_all(workloads: list[Workload] | None = None,
+               devices: list[Device] | None = None,
+               *, n_jobs: int | None = None,
+               executor: ParallelExecutor | None = None
+               ) -> list[ObservationResult]:
+    """Evaluate all nine observations; returns them in order.
+
+    Observations are independent of each other and fan out through the
+    executor (chunk size 1: their costs are very uneven — the accuracy
+    audit of O7 dominates).  Results are ordered by observation number
+    regardless of ``n_jobs``.
+    """
+    ex = executor if executor is not None else ParallelExecutor(n_jobs)
+    tasks = [(i, workloads, devices) for i in range(len(OBSERVATIONS))]
+    with stage("analysis.verify_all"):
+        return ex.map(_run_observation, tasks, chunk_size=1)

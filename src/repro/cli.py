@@ -25,9 +25,15 @@ from .analysis.suitability import KernelSketch, predict
 from .gpu.device import Device
 from .gpu.specs import get_gpu
 from .harness.artifact import full_evaluation, quick_test
-from .harness.report import format_seconds, format_speedups, format_table
+from .harness.report import (
+    format_seconds,
+    format_speedups,
+    format_stage_timings,
+    format_table,
+)
 from .harness.runner import run_performance, speedup_summary
 from .kernels import Variant, all_workloads, get_workload
+from .perf.instrument import stage_timings
 
 __all__ = ["main", "build_parser"]
 
@@ -41,7 +47,8 @@ def _select_workloads(names: list[str] | None):
 def cmd_perf(args: argparse.Namespace) -> int:
     workloads = _select_workloads(args.workload)
     devices = [Device(g) for g in args.gpu]
-    records = run_performance(workloads=workloads, devices=devices)
+    records = run_performance(workloads=workloads, devices=devices,
+                              n_jobs=args.jobs)
     print(format_speedups(
         speedup_summary(records, Variant.TC, Variant.BASELINE),
         "TC speedup over baseline (Figure 4)"))
@@ -125,7 +132,7 @@ def cmd_full(args: argparse.Namespace) -> int:
 def cmd_observations(args: argparse.Namespace) -> int:
     from .analysis.observations import verify_all
     rows = []
-    for r in verify_all():
+    for r in verify_all(n_jobs=args.jobs):
         rows.append([f"O{r.number}", "holds" if r.holds else "FAILS",
                      r.statement])
     print(format_table(["Obs", "Verdict", "Statement"], rows,
@@ -159,11 +166,29 @@ def cmd_suitability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import run_bench, write_bench_json
+    results = run_bench(args.bench or None, cache_dir=args.cache_dir)
+    for name, r in sorted(results.items()):
+        print(f"{name}: cold {r['cold_s']:.1f}s, warm {r['warm_s']:.1f}s "
+              f"({r['warm_speedup']}x)")
+    out = write_bench_json(args.out, results)
+    print(f"wrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cubie reproduction: MMU characterization suite")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_perf_opts(p):
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the evaluation grid "
+                            "(default: REPRO_JOBS or the CPU count)")
+        p.add_argument("--timings", action="store_true",
+                       help="print per-stage wall-clock after the run")
 
     def add_common(p):
         p.add_argument("--gpu", nargs="+", default=["A100", "H200", "B200"],
@@ -179,11 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
             ("roofline", cmd_roofline, "Figure 9 points")):
         p = sub.add_parser(name, help=desc)
         add_common(p)
+        if name == "perf":
+            add_perf_opts(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("observations",
                        help="verify the paper's nine observations")
+    add_perf_opts(p)
     p.set_defaults(fn=cmd_observations)
+
+    p = sub.add_parser("bench",
+                       help="cold/warm pipeline benchmarks "
+                            "(emits BENCH_perf.json)")
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="output JSON path")
+    p.add_argument("--bench", nargs="*", default=None,
+                   help="bench names (default: all)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root to benchmark against "
+                        "(default: a fresh temporary directory)")
+    p.set_defaults(fn=cmd_bench)
 
     for name, fn, desc in (
             ("quicktest", cmd_quicktest,
@@ -217,7 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    rc = args.fn(args)
+    if getattr(args, "timings", False):
+        print()
+        print(format_stage_timings(stage_timings()))
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

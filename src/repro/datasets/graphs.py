@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf.cache import content_key, default_cache, source_token
+from ..perf.instrument import stage
 from ..sparse.csr import CsrMatrix
 from .synthetic import Lcg
 
@@ -204,7 +206,11 @@ def _social_pa(n: int, m: int, rng: Lcg, community: int = 128,
             np.concatenate([dst, src]), n)
 
 
-_CACHE: dict[tuple[str, int], tuple[np.ndarray, np.ndarray, int]] = {}
+def _generator_token() -> str:
+    import sys
+
+    from . import synthetic
+    return source_token(sys.modules[__name__], synthetic)
 
 
 def generate_graph(name: str, seed: int = 1325
@@ -213,11 +219,19 @@ def generate_graph(name: str, seed: int = 1325
 
     Returns directed (src, dst) edge arrays and the vertex count.  Self
     loops are removed; duplicate edges are kept (BFS ignores them, and the
-    originals contain them too).
+    originals contain them too).  Results are content-address cached
+    (memory + disk) per (name, seed); editing this module or the LCG
+    invalidates the entries.  Repeated in-process calls return the same
+    object.
     """
-    key = (name, int(seed))
-    if key in _CACHE:
-        return _CACHE[key]
+    key = content_key("graph", _generator_token(), name, int(seed))
+    with stage("datasets.generate_graph"):
+        return default_cache().get_or_compute(
+            "graph", key, lambda: _generate_graph_uncached(name, seed))
+
+
+def _generate_graph_uncached(name: str, seed: int
+                             ) -> tuple[np.ndarray, np.ndarray, int]:
     info = graph_info(name)
     name_tag = sum(ord(ch) * (i + 1) for i, ch in enumerate(name))
     rng = Lcg(seed + name_tag % 100003)
@@ -232,9 +246,7 @@ def generate_graph(name: str, seed: int = 1325
     else:  # pragma: no cover - catalog is static
         raise ValueError(f"unknown family {info.family!r}")
     keep = src != dst
-    result = (src[keep], dst[keep], n)
-    _CACHE[key] = result
-    return result
+    return src[keep], dst[keep], n
 
 
 def graph_to_csr(src: np.ndarray, dst: np.ndarray, n: int) -> CsrMatrix:

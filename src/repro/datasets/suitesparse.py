@@ -17,6 +17,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..perf.cache import content_key, default_cache, source_token
+from ..perf.instrument import stage
 from ..sparse.csr import CsrMatrix
 from .synthetic import Lcg
 
@@ -222,7 +224,12 @@ def _top_up_nnz(a: CsrMatrix, target: int, rng: Lcg,
     return a
 
 
-_CACHE: dict[tuple[str, float, int], CsrMatrix] = {}
+def _generator_token() -> str:
+    import sys
+
+    from ..sparse import csr
+    from . import synthetic
+    return source_token(sys.modules[__name__], csr, synthetic)
 
 
 def generate_matrix(name: str, scale: float = 1.0,
@@ -230,16 +237,18 @@ def generate_matrix(name: str, scale: float = 1.0,
     """Generate the synthetic stand-in for a Table 4 matrix.
 
     ``scale`` shrinks both dimensions and nonzeros (for quick tests);
-    ``scale=1`` reproduces the cataloged size.  Results are cached per
-    (name, scale, seed) since full-scale generation takes seconds.
+    ``scale=1`` reproduces the cataloged size.  Results are content-address
+    cached (memory + disk) per (name, scale, seed) since full-scale
+    generation takes seconds; the key includes a hash of this module and
+    its dependencies, so editing a generator invalidates its entries.
+    Repeated in-process calls return the same object.
     """
-    key = (name, float(scale), int(seed))
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    result = _generate_matrix_uncached(name, scale, seed)
-    _CACHE[key] = result
-    return result
+    key = content_key("suitesparse", _generator_token(), name,
+                      float(scale), int(seed))
+    with stage("datasets.generate_matrix"):
+        return default_cache().get_or_compute(
+            "matrix", key,
+            lambda: _generate_matrix_uncached(name, scale, seed))
 
 
 def _generate_matrix_uncached(name: str, scale: float,

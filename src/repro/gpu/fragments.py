@@ -20,6 +20,12 @@ import numpy as np
 
 __all__ = [
     "WARP_SIZE",
+    "A_FRAGMENT_ROWS",
+    "A_FRAGMENT_COLS",
+    "B_FRAGMENT_ROWS",
+    "B_FRAGMENT_COLS",
+    "C_FRAGMENT_ROWS",
+    "C_FRAGMENT_COLS",
     "a_fragment_index",
     "b_fragment_index",
     "c_fragment_index",
@@ -30,6 +36,23 @@ __all__ = [
 ]
 
 WARP_SIZE = 32
+
+# Precomputed per-lane index tables — the same maps as the scalar
+# ``*_fragment_index`` functions, laid out as arrays so distribute/collect
+# (and the warp-level GEMM in ``mma``) are single gather/scatter operations
+# instead of per-lane Python loops.  Index tables are pure data movement,
+# so the vectorized paths are bit-identical to the loops they replace.
+_LANES = np.arange(WARP_SIZE)
+#: A_FRAGMENT_ROWS[lane], A_FRAGMENT_COLS[lane] == a_fragment_index(lane)
+A_FRAGMENT_ROWS = _LANES // 4
+A_FRAGMENT_COLS = _LANES % 4
+#: B_FRAGMENT_ROWS[lane], B_FRAGMENT_COLS[lane] == b_fragment_index(lane)
+B_FRAGMENT_ROWS = _LANES % 4
+B_FRAGMENT_COLS = _LANES // 4
+#: C_FRAGMENT_ROWS[lane, reg], C_FRAGMENT_COLS[lane, reg]
+#: == c_fragment_index(lane, reg)
+C_FRAGMENT_ROWS = np.repeat(_LANES // 4, 2).reshape(WARP_SIZE, 2)
+C_FRAGMENT_COLS = (_LANES % 4)[:, None] * 2 + np.arange(2)[None, :]
 
 
 def a_fragment_index(lane: int) -> tuple[int, int]:
@@ -55,32 +78,19 @@ def c_fragment_index(lane: int, reg: int) -> tuple[int, int]:
 def distribute_a(a: np.ndarray) -> np.ndarray:
     """Scatter an 8x4 A tile into per-lane registers (shape ``(32,)``)."""
     a = _check_tile(a, (8, 4), "A")
-    regs = np.empty(WARP_SIZE, dtype=np.float64)
-    for lane in range(WARP_SIZE):
-        r, c = a_fragment_index(lane)
-        regs[lane] = a[r, c]
-    return regs
+    return a[A_FRAGMENT_ROWS, A_FRAGMENT_COLS]
 
 
 def distribute_b(b: np.ndarray) -> np.ndarray:
     """Scatter a 4x8 B tile into per-lane registers (shape ``(32,)``)."""
     b = _check_tile(b, (4, 8), "B")
-    regs = np.empty(WARP_SIZE, dtype=np.float64)
-    for lane in range(WARP_SIZE):
-        r, c = b_fragment_index(lane)
-        regs[lane] = b[r, c]
-    return regs
+    return b[B_FRAGMENT_ROWS, B_FRAGMENT_COLS]
 
 
 def distribute_c(c: np.ndarray) -> np.ndarray:
     """Scatter an 8x8 accumulator into per-lane registers ``(32, 2)``."""
     c = _check_tile(c, (8, 8), "C")
-    regs = np.empty((WARP_SIZE, 2), dtype=np.float64)
-    for lane in range(WARP_SIZE):
-        for reg in range(2):
-            r, cc = c_fragment_index(lane, reg)
-            regs[lane, reg] = c[r, cc]
-    return regs
+    return c[C_FRAGMENT_ROWS, C_FRAGMENT_COLS]
 
 
 def collect_c(regs: np.ndarray) -> np.ndarray:
@@ -89,10 +99,7 @@ def collect_c(regs: np.ndarray) -> np.ndarray:
     if regs.shape != (WARP_SIZE, 2):
         raise ValueError(f"expected (32, 2) register file, got {regs.shape}")
     c = np.empty((8, 8), dtype=np.float64)
-    for lane in range(WARP_SIZE):
-        for reg in range(2):
-            r, cc = c_fragment_index(lane, reg)
-            c[r, cc] = regs[lane, reg]
+    c[C_FRAGMENT_ROWS, C_FRAGMENT_COLS] = regs
     return c
 
 

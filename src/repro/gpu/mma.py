@@ -104,14 +104,12 @@ def warp_gemm_m8n8k4(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b_regs = fragments.distribute_b(b)          # line 6: load B
     c_regs = np.zeros((fragments.WARP_SIZE, 2))  # lines 4-5: init c[2]
     # line 7: the MMA — reassemble operands from the register file, exactly
-    # as the hardware's dot-product network reads across lanes
+    # as the hardware's dot-product network reads across lanes (one scatter
+    # per operand through the precomputed fragment index tables)
     a_tile = np.empty((8, 4))
     b_tile = np.empty((4, 8))
-    for lane in range(fragments.WARP_SIZE):
-        ar, ac = fragments.a_fragment_index(lane)
-        a_tile[ar, ac] = a_regs[lane]
-        br, bc = fragments.b_fragment_index(lane)
-        b_tile[br, bc] = b_regs[lane]
+    a_tile[fragments.A_FRAGMENT_ROWS, fragments.A_FRAGMENT_COLS] = a_regs
+    b_tile[fragments.B_FRAGMENT_ROWS, fragments.B_FRAGMENT_COLS] = b_regs
     d_tile = mma_m8n8k4(a_tile, b_tile)
     c_regs = fragments.distribute_c(d_tile)
     # line 8: store C via the fragment map

@@ -2,7 +2,13 @@
 figure/table regenerators in ``benchmarks/``."""
 
 from .artifact import evaluate, full_evaluation, quick_test
-from .report import format_seconds, format_si, format_speedups, format_table
+from .report import (
+    format_seconds,
+    format_si,
+    format_speedups,
+    format_stage_timings,
+    format_table,
+)
 from .sweep import SIZE_SWEEPS, SweepPoint, find_crossover, sweep_sizes
 from .whatif import WhatIfResult, evaluate_whatif, hypothetical
 from .runner import (
@@ -19,6 +25,7 @@ __all__ = [
     "format_seconds",
     "format_si",
     "format_speedups",
+    "format_stage_timings",
     "format_table",
     "WhatIfResult",
     "evaluate_whatif",

@@ -8,7 +8,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-__all__ = ["format_table", "format_speedups", "format_si", "format_seconds"]
+from ..perf.instrument import StageTiming
+
+__all__ = ["format_table", "format_speedups", "format_si", "format_seconds",
+           "format_stage_timings"]
 
 
 def format_si(value: float, unit: str = "", digits: int = 3) -> str:
@@ -44,6 +47,16 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     for row in str_rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_stage_timings(timings: Sequence[StageTiming]) -> str:
+    """Render the per-stage wall-clock registry of a run."""
+    total = sum(t.seconds for t in timings)
+    rows = [[t.name, format_seconds(t.seconds), t.calls,
+             f"{t.seconds / total:.0%}" if total > 0 else "-"]
+            for t in sorted(timings, key=lambda t: -t.seconds)]
+    return format_table(["Stage", "Wall", "Calls", "Share"], rows,
+                        title="Pipeline stage timings")
 
 
 def format_speedups(speedups: dict[tuple[str, str], float],

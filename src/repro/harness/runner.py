@@ -4,6 +4,14 @@ This is the programmatic equivalent of the artifact's ``run_perf.sh`` —
 it evaluates the analytic model at paper scale for every combination and
 returns structured records the report layer formats into the paper's
 figures.
+
+The grid is embarrassingly parallel, so it routes through
+:class:`~repro.perf.executor.ParallelExecutor`: one task per workload
+evaluates all cases, variants, and devices, with ``analytic_stats``
+hoisted out of the device loop (counters are device-independent — only
+``Device.resolve`` varies per GPU).  Records are reassembled in the
+canonical device-major order, so serial (``n_jobs=1``) and parallel runs
+return identical records in identical order.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ import numpy as np
 from ..gpu.device import Device
 from ..kernels.base import Quadrant, Variant, Workload
 from ..kernels import all_workloads
+from ..perf.executor import ParallelExecutor
+from ..perf.instrument import stage
 
 __all__ = ["PerfRecord", "run_performance", "speedup_summary",
            "default_devices"]
@@ -43,35 +53,60 @@ def default_devices() -> list[Device]:
     return [Device("A100"), Device("H200"), Device("B200")]
 
 
+def _workload_records(task: tuple[Workload, list[Device]]
+                      ) -> list[list[PerfRecord]]:
+    """Evaluate one workload on every device; returns per-device record
+    lists in (case, variant) order.  The analytic counters are computed
+    once per (case, variant) — they are device-independent — and resolved
+    against each device's models."""
+    w, devices = task
+    per_device: list[list[PerfRecord]] = [[] for _ in devices]
+    for case in w.cases():
+        for variant in w.variants():
+            stats = w.analytic_stats(variant, case)
+            intensity = stats.arithmetic_intensity()
+            for out, dev in zip(per_device, devices):
+                r = dev.resolve(stats)
+                out.append(PerfRecord(
+                    gpu=dev.spec.name,
+                    workload=w.name,
+                    quadrant=w.quadrant,
+                    variant=variant.value,
+                    case=case.label,
+                    time_s=r.time_s,
+                    flops=r.flops,
+                    power_w=r.power_w,
+                    energy_j=r.energy_j,
+                    bottleneck=r.breakdown.bottleneck,
+                    dram_bytes=stats.dram_bytes,
+                    arithmetic_intensity=intensity,
+                ))
+    return per_device
+
+
 def run_performance(workloads: list[Workload] | None = None,
-                    devices: list[Device] | None = None
+                    devices: list[Device] | None = None,
+                    *, n_jobs: int | None = None,
+                    executor: ParallelExecutor | None = None
                     ) -> list[PerfRecord]:
-    """Evaluate every (gpu, workload, variant, case) combination."""
+    """Evaluate every (gpu, workload, variant, case) combination.
+
+    Records come back in device-major order (device, workload, case,
+    variant) regardless of ``n_jobs``.
+    """
     if workloads is None:
         workloads = all_workloads()
     if devices is None:
         devices = default_devices()
+    ex = executor if executor is not None else ParallelExecutor(n_jobs)
+    with stage("harness.run_performance"):
+        per_workload = ex.map(_workload_records,
+                              [(w, devices) for w in workloads],
+                              chunk_size=1)
     records: list[PerfRecord] = []
-    for dev in devices:
-        for w in workloads:
-            for case in w.cases():
-                for variant in w.variants():
-                    stats = w.analytic_stats(variant, case)
-                    r = dev.resolve(stats)
-                    records.append(PerfRecord(
-                        gpu=dev.spec.name,
-                        workload=w.name,
-                        quadrant=w.quadrant,
-                        variant=variant.value,
-                        case=case.label,
-                        time_s=r.time_s,
-                        flops=r.flops,
-                        power_w=r.power_w,
-                        energy_j=r.energy_j,
-                        bottleneck=r.breakdown.bottleneck,
-                        dram_bytes=stats.dram_bytes,
-                        arithmetic_intensity=stats.arithmetic_intensity(),
-                    ))
+    for di in range(len(devices)):
+        for wi in range(len(workloads)):
+            records.extend(per_workload[wi][di])
     return records
 
 

@@ -21,6 +21,8 @@ from ..kernels.gemv import GemvWorkload
 from ..kernels.reduction import ReductionWorkload
 from ..kernels.scan import ScanWorkload
 from ..kernels.stencil import StencilWorkload
+from ..perf.executor import ParallelExecutor
+from ..perf.instrument import stage
 
 __all__ = ["SweepPoint", "SIZE_SWEEPS", "sweep_sizes", "find_crossover"]
 
@@ -77,29 +79,46 @@ SIZE_SWEEPS: dict[str, tuple[Callable[[], Workload],
 }
 
 
+def _sweep_size(task: tuple[str, int, Device, tuple[Variant, ...]]
+                ) -> list[SweepPoint]:
+    """Evaluate every requested variant at one sweep size (worker task)."""
+    name, s, device, variants = task
+    factory, case_of, _ = SIZE_SWEEPS[name]
+    w = factory()
+    case = case_of(s)
+    points = []
+    for v in variants:
+        if v not in w.variants():
+            continue
+        r = device.resolve(w.analytic_stats(v, case))
+        points.append(SweepPoint(workload=name, size=s,
+                                 variant=v.value, time_s=r.time_s,
+                                 flops=r.flops))
+    return points
+
+
 def sweep_sizes(name: str, device: Device,
                 variants: tuple[Variant, ...] = (Variant.BASELINE,
-                                                 Variant.TC)
+                                                 Variant.TC),
+                *, n_jobs: int | None = None,
+                executor: ParallelExecutor | None = None
                 ) -> list[SweepPoint]:
-    """Evaluate a workload's analytic model across its size grid."""
-    try:
-        factory, case_of, sizes = SIZE_SWEEPS[name]
-    except KeyError:
+    """Evaluate a workload's analytic model across its size grid.
+
+    The per-size evaluations fan out through the executor; points come
+    back in (size, variant) order regardless of ``n_jobs``.
+    """
+    if name not in SIZE_SWEEPS:
         raise ValueError(
             f"no size sweep for {name!r}; available: "
-            f"{sorted(SIZE_SWEEPS)}") from None
-    w = factory()
-    points = []
-    for s in sizes:
-        case = case_of(s)
-        for v in variants:
-            if v not in w.variants():
-                continue
-            r = device.resolve(w.analytic_stats(v, case))
-            points.append(SweepPoint(workload=name, size=s,
-                                     variant=v.value, time_s=r.time_s,
-                                     flops=r.flops))
-    return points
+            f"{sorted(SIZE_SWEEPS)}")
+    sizes = SIZE_SWEEPS[name][2]
+    ex = executor if executor is not None else ParallelExecutor(n_jobs)
+    with stage("harness.sweep_sizes"):
+        per_size = ex.map(_sweep_size,
+                          [(name, s, device, variants) for s in sizes],
+                          chunk_size=1)
+    return [p for chunk in per_size for p in chunk]
 
 
 def find_crossover(points: list[SweepPoint],

@@ -63,12 +63,12 @@ def accumulate_sequential(keys: np.ndarray, vals: np.ndarray
     uniq_mask = np.r_[True, keys[1:] != keys[:-1]]
     group = np.cumsum(uniq_mask) - 1
     n_groups = int(group[-1]) + 1
-    within = np.arange(len(keys)) - np.flatnonzero(uniq_mask)[group]
     out = np.zeros(n_groups)
-    max_dup = int(within.max()) + 1
-    for i in range(max_dup):
-        sel = within == i
-        out[group[sel]] += vals[sel]
+    # np.add.at applies the unbuffered updates index-by-index in argument
+    # order, which for sorted keys is exactly the first-to-last sequential
+    # accumulation per group (bit-identical to an explicit Python loop,
+    # unlike add.reduceat's pairwise summation).
+    np.add.at(out, group, vals)
     return keys[uniq_mask], out
 
 

@@ -1,0 +1,59 @@
+"""Cross-cutting evaluation-engine layer: parallel fan-out,
+content-addressed result caching, and per-stage instrumentation.
+
+The characterization pipeline is an embarrassingly parallel grid
+(workload x variant x case x GPU) built from deterministic generators, so
+two orthogonal mechanisms cover almost all of its cost:
+
+* :class:`ParallelExecutor` — deterministic, order-preserving fan-out of
+  independent evaluation tasks over a process pool (with an in-process
+  fallback for ``n_jobs=1`` that produces identical results in identical
+  order);
+* :class:`ResultCache` — a two-tier (in-memory LRU + on-disk) store keyed
+  by a stable content hash of (qualname, params, library version, source
+  code), exploiting the fixed-seed LCG determinism guarantee (DESIGN.md
+  decision 4): cached and freshly computed artifacts are bit-identical.
+
+:mod:`repro.perf.instrument` records per-stage wall-clock so regressions
+are visible, and :mod:`repro.perf.bench` measures cold/warm pipeline
+wall-clock into ``BENCH_perf.json`` for the perf trajectory across PRs.
+"""
+
+from .cache import (
+    CacheStats,
+    ResultCache,
+    cache_enabled,
+    content_key,
+    default_cache,
+    default_cache_dir,
+    package_source_token,
+    set_default_cache,
+    source_token,
+)
+from .executor import ParallelExecutor, resolve_n_jobs
+from .instrument import (
+    StageTiming,
+    record_stage,
+    reset_stage_timings,
+    stage,
+    stage_timings,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_enabled",
+    "content_key",
+    "default_cache",
+    "default_cache_dir",
+    "package_source_token",
+    "set_default_cache",
+    "source_token",
+    "ParallelExecutor",
+    "resolve_n_jobs",
+    "StageTiming",
+    "record_stage",
+    "reset_stage_timings",
+    "stage",
+    "stage_timings",
+]

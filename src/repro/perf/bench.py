@@ -1,0 +1,106 @@
+"""Cold/warm pipeline benchmarking — the ``BENCH_perf.json`` emitter.
+
+Each named bench is one CLI invocation (a fresh interpreter, so in-memory
+memoization never leaks between measurements).  *Cold* runs against an
+empty cache directory; *warm* repeats the identical invocation against the
+directory the cold run populated.  The resulting JSON records absolute
+wall-clock plus the warm/cold ratio so future PRs can track the perf
+trajectory of the evaluation engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["BENCHES", "run_bench", "write_bench_json"]
+
+#: bench name -> ``python -m repro`` argument list.  ``observations`` is
+#: the nine-observation audit, ``perf`` the Figures 3-6 grid
+#: (``run_performance``), ``power`` the Figure 7 EDP figure bench.
+BENCHES: dict[str, tuple[str, ...]] = {
+    "observations": ("observations",),
+    "run_performance": ("perf",),
+    "fig7_edp": ("power", "--gpu", "H200"),
+}
+
+
+def _invoke(args: tuple[str, ...], cache_dir: str) -> float:
+    """Run one CLI invocation in a fresh interpreter; returns wall-clock."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    src = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    t0 = time.perf_counter()
+    proc = subprocess.run([sys.executable, "-m", "repro", *args],
+                         env=env, capture_output=True, text=True)
+    wall = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench command {' '.join(args)!r} failed "
+            f"(rc={proc.returncode}):\n{proc.stderr[-2000:]}")
+    return wall
+
+
+def run_bench(names: list[str] | None = None,
+              cache_dir: str | Path | None = None) -> dict[str, dict]:
+    """Measure cold and warm wall-clock for the selected benches.
+
+    With no ``cache_dir`` a fresh temporary directory is used (true cold
+    start) and removed afterwards.
+    """
+    names = list(BENCHES) if names is None else names
+    for name in names:
+        if name not in BENCHES:
+            raise ValueError(
+                f"unknown bench {name!r}; available: {sorted(BENCHES)}")
+    results: dict[str, dict] = {}
+    ctx = tempfile.TemporaryDirectory(prefix="repro-bench-") \
+        if cache_dir is None else None
+    root = Path(ctx.name) if ctx else Path(cache_dir)
+    try:
+        for name in names:
+            bench_cache = root / name
+            bench_cache.mkdir(parents=True, exist_ok=True)
+            cold = _invoke(BENCHES[name], str(bench_cache))
+            warm = _invoke(BENCHES[name], str(bench_cache))
+            results[name] = {
+                "args": list(BENCHES[name]),
+                "cold_s": round(cold, 3),
+                "warm_s": round(warm, 3),
+                "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
+            }
+    finally:
+        if ctx:
+            ctx.cleanup()
+    return results
+
+
+def write_bench_json(path: str | Path, results: dict[str, dict],
+                     baseline: dict | None = None) -> Path:
+    """Write ``BENCH_perf.json``: host metadata + bench results."""
+    payload = {
+        "schema": 1,
+        "suite": "repro evaluation engine",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "benches": results,
+    }
+    if baseline:
+        payload["seed_baseline"] = baseline
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return out

@@ -1,0 +1,306 @@
+"""Content-addressed two-tier result cache.
+
+Keys are SHA-256 digests of a canonical byte encoding of (qualname,
+params, library version, relevant source code), so they are stable across
+processes and machines — Python's salted ``hash()`` is never used.  Values
+live in an in-memory LRU (same-object returns within a process) backed by
+an on-disk pickle store under :func:`default_cache_dir` (``REPRO_CACHE_DIR``
+or ``~/.cache/repro``).
+
+The determinism guarantee that makes this sound: every expensive artifact
+in the pipeline flows from the fixed-seed LCG (DESIGN.md decision 4), so a
+cache entry and a fresh recomputation are required to be *bit-identical* —
+a property the test suite asserts for matrices, graphs, and functional
+kernel executions.
+
+Invalidation is automatic where it matters: generator keys mix in a hash
+of the generating modules' source (:func:`source_token`), and functional
+execution keys mix in a hash of the whole package
+(:func:`package_source_token`), so editing code never serves stale
+results.  ``REPRO_CACHE=0`` disables the disk tier entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_enabled",
+    "content_key",
+    "default_cache",
+    "default_cache_dir",
+    "package_source_token",
+    "set_default_cache",
+    "source_token",
+]
+
+T = TypeVar("T")
+
+#: bump when the on-disk entry format changes (invalidates every entry)
+CACHE_SCHEMA = 1
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk tier is enabled (``REPRO_CACHE=0`` turns it off)."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "off", "no")
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# ------------------------------------------------------------------ hashing
+
+def _encode(obj: Any, h) -> None:
+    """Feed a canonical byte encoding of ``obj`` into hasher ``h``.
+
+    Only value-like inputs are accepted; arbitrary objects raise TypeError
+    so cache keys never silently depend on object identity.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"i" + repr(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"f" + repr(float(obj)).encode())
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(b"s" + repr(len(raw)).encode() + b":" + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"y" + repr(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, Enum):
+        h.update(b"e")
+        _encode(type(obj).__name__, h)
+        _encode(obj.value, h)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"a" + arr.dtype.str.encode() + repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"d" + type(obj).__qualname__.encode())
+        for f in fields(obj):
+            _encode(f.name, h)
+            _encode(getattr(obj, f.name), h)
+    elif isinstance(obj, Mapping):
+        h.update(b"m")
+        for k in sorted(obj, key=repr):
+            _encode(k, h)
+            _encode(obj[k], h)
+    elif isinstance(obj, (Sequence, frozenset, set)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) \
+            else obj
+        h.update(b"l" + repr(len(items)).encode())
+        for item in items:
+            _encode(item, h)
+    else:
+        raise TypeError(
+            f"cannot derive a stable cache key from {type(obj).__name__!r}")
+
+
+def content_key(*parts: Any) -> str:
+    """Stable hex digest of the canonical encoding of ``parts``.
+
+    Identical inputs give identical keys in every process (asserted by a
+    cross-process test) — the content address of a cached artifact.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-cache" + repr(CACHE_SCHEMA).encode())
+    for part in parts:
+        h.update(b"|")
+        _encode(part, h)
+    return h.hexdigest()
+
+
+_SOURCE_TOKENS: dict[str, str] = {}
+
+
+def source_token(*modules: ModuleType) -> str:
+    """Digest of the given modules' source files.
+
+    Mixing this into a generator's cache key makes invalidation automatic:
+    editing the generator changes the key, so stale artifacts are never
+    served across code changes.
+    """
+    h = hashlib.sha256()
+    for mod in modules:
+        name = mod.__name__
+        tok = _SOURCE_TOKENS.get(name)
+        if tok is None:
+            path = getattr(mod, "__file__", None)
+            try:
+                data = Path(path).read_bytes() if path else name.encode()
+            except OSError:  # pragma: no cover - sourceless module
+                data = name.encode()
+            tok = hashlib.sha256(data).hexdigest()
+            _SOURCE_TOKENS[name] = tok
+        h.update(tok.encode())
+    return h.hexdigest()
+
+
+_PACKAGE_TOKEN: str | None = None
+
+
+def package_source_token() -> str:
+    """Digest of every ``.py`` file in the ``repro`` package.
+
+    Functional kernel executions depend on code spread across the whole
+    package, so their cache keys use this: any code change invalidates
+    them (computed once per process; ~milliseconds).
+    """
+    global _PACKAGE_TOKEN
+    if _PACKAGE_TOKEN is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            try:
+                h.update(hashlib.sha256(path.read_bytes()).digest())
+            except OSError:  # pragma: no cover - unreadable file
+                pass
+        _PACKAGE_TOKEN = h.hexdigest()
+    return _PACKAGE_TOKEN
+
+
+# ------------------------------------------------------------------ store
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    #: on-disk entries that failed to load (corruption => recompute)
+    load_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ResultCache:
+    """Two-tier (memory LRU + on-disk pickle) content-addressed store.
+
+    The memory tier returns the *same object* on repeated lookups within a
+    process; the disk tier survives processes and returns bit-identical
+    values (pickle round-trips of numpy arrays are exact).  A truncated or
+    otherwise corrupt disk entry is treated as a miss: the value is
+    recomputed and the entry rewritten.  Writes are atomic (temp file +
+    ``os.replace``) so concurrent processes never observe partial entries.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 memory_items: int = 512, disk: bool | None = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.disk = cache_enabled() if disk is None else disk
+        self.memory_items = memory_items
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- tiers
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self.directory / kind / f"{key}.pkl"
+
+    def _memory_put(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+
+    def _disk_load(self, path: Path) -> tuple[bool, Any]:
+        if not self.disk:
+            return False, None
+        try:
+            with open(path, "rb") as fh:
+                return True, pickle.load(fh)
+        except FileNotFoundError:
+            return False, None
+        except Exception:  # truncated/corrupt entry: recompute
+            self.stats.load_errors += 1
+            return False, None
+
+    def _disk_store(self, path: Path, value: Any) -> None:
+        if not self.disk:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError):
+            pass  # unwritable/unpicklable: caching is best-effort
+
+    # ---------------------------------------------------------------- API
+    def get_or_compute(self, kind: str, key: str,
+                       compute: Callable[[], T]) -> T:
+        """Return the cached value for ``(kind, key)``, computing on miss."""
+        mem_key = f"{kind}/{key}"
+        if mem_key in self._memory:
+            self.stats.memory_hits += 1
+            self._memory.move_to_end(mem_key)
+            return self._memory[mem_key]
+        path = self._entry_path(kind, key)
+        found, value = self._disk_load(path)
+        if found:
+            self.stats.disk_hits += 1
+            self._memory_put(mem_key, value)
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self._disk_store(path, value)
+        self._memory_put(mem_key, value)
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier is untouched)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultCache({str(self.directory)!r}, disk={self.disk}, "
+                f"stats={self.stats})")
+
+
+_DEFAULT: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache (created lazily from the environment)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ResultCache()
+    return _DEFAULT
+
+
+def set_default_cache(cache: ResultCache | None) -> ResultCache | None:
+    """Replace the process-wide cache (tests); returns the previous one."""
+    global _DEFAULT
+    previous, _DEFAULT = _DEFAULT, cache
+    return previous

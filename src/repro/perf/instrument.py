@@ -1,0 +1,60 @@
+"""Per-stage wall-clock instrumentation.
+
+Pipeline stages (dataset generation, grid evaluation, observation audit,
+functional accuracy runs) record their wall-clock into a process-global
+registry via the :func:`stage` context manager.  The harness report layer
+formats the registry into the run report, and ``repro ... --timings``
+prints it, so the cost structure of every invocation is visible and the
+speedup from caching/parallelism is tracked across PRs (see
+:mod:`repro.perf.bench`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["StageTiming", "stage", "record_stage", "stage_timings",
+           "reset_stage_timings"]
+
+
+@dataclass
+class StageTiming:
+    """Accumulated wall-clock for one named pipeline stage."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+
+
+_REGISTRY: dict[str, StageTiming] = {}
+
+
+def record_stage(name: str, seconds: float) -> None:
+    """Accumulate ``seconds`` of wall-clock under ``name``."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        entry = _REGISTRY[name] = StageTiming(name)
+    entry.seconds += seconds
+    entry.calls += 1
+
+
+@contextmanager
+def stage(name: str):
+    """Context manager timing one stage execution into the registry."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_stage(name, time.perf_counter() - t0)
+
+
+def stage_timings() -> list[StageTiming]:
+    """All recorded stages in first-recorded order."""
+    return list(_REGISTRY.values())
+
+
+def reset_stage_timings() -> None:
+    """Clear the registry (tests and repeated in-process runs)."""
+    _REGISTRY.clear()

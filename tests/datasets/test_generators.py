@@ -32,6 +32,7 @@ class TestMatrixStandins:
         got_per_row = a.nnz / a.n_rows
         assert 0.5 * orig_per_row < got_per_row < 2.0 * orig_per_row
 
+    @pytest.mark.slow
     def test_full_scale_row_counts_exact(self):
         # row counts are part of Table 4; only the QCD lattice may round
         # to preserve its 12-component block structure

@@ -62,6 +62,7 @@ class TestEvaluateWhatif:
 
 
 class TestObservationsCli:
+    @pytest.mark.slow
     def test_observations_command_exits_zero(self, capsys):
         # run on the full registry: the audit must hold end to end
         from repro.cli import main

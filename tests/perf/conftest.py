@@ -1,0 +1,12 @@
+import pytest
+
+from repro.perf.cache import ResultCache, set_default_cache
+
+
+@pytest.fixture
+def isolated_cache(tmp_path):
+    """Point the process-wide cache at a throwaway directory."""
+    cache = ResultCache(tmp_path / "cache")
+    previous = set_default_cache(cache)
+    yield cache
+    set_default_cache(previous)

@@ -1,0 +1,157 @@
+"""Content-addressed cache: keys, tiers, accounting, corruption, and the
+bit-identity contract between cached and fresh artifacts."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.analysis.accuracy import _accuracy_table_uncached, accuracy_table
+from repro.datasets.graphs import _generate_graph_uncached, generate_graph
+from repro.datasets.suitesparse import (
+    _generate_matrix_uncached,
+    generate_matrix,
+)
+from repro.kernels.scan import ScanWorkload
+from repro.perf.cache import (
+    ResultCache,
+    content_key,
+    package_source_token,
+    source_token,
+)
+
+
+def _bits(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(a, dtype=np.float64)) \
+        .view(np.uint64)
+
+
+def _key_in_subprocess(_: int) -> str:
+    return content_key("probe", {"n": 17, "scale": 0.25},
+                       np.arange(5, dtype=np.float64), ("a", 2.5))
+
+
+class TestContentKey:
+    def test_stable_across_processes(self):
+        here = _key_in_subprocess(0)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            there = pool.submit(_key_in_subprocess, 0).result()
+        assert here == there
+
+    def test_value_sensitivity(self):
+        base = content_key("k", 1.0, [1, 2])
+        assert content_key("k", 1.0, [1, 2]) == base
+        assert content_key("k", 1.0, [2, 1]) != base
+        assert content_key("k", 2.0, [1, 2]) != base
+
+    def test_dict_order_does_not_matter(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_array_dtype_and_shape_matter(self):
+        a = np.arange(6)
+        assert content_key(a) != content_key(a.astype(np.float64))
+        assert content_key(a) != content_key(a.reshape(2, 3))
+
+    def test_unkeyable_object_raises(self):
+        with pytest.raises(TypeError):
+            content_key(object())
+
+    def test_source_tokens_are_hex_digests(self):
+        from repro.datasets import synthetic
+        tok = source_token(synthetic)
+        assert len(tok) == 64 and int(tok, 16) >= 0
+        assert len(package_source_token()) == 64
+
+
+class TestResultCacheTiers:
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+        compute = lambda: calls.append(1) or np.arange(4.0)
+        key = content_key("x", 1)
+        cache.get_or_compute("t", key, compute)
+        assert (cache.stats.misses, cache.stats.hits) == (1, 0)
+        cache.get_or_compute("t", key, compute)
+        assert cache.stats.memory_hits == 1
+        cache.clear_memory()
+        cache.get_or_compute("t", key, compute)
+        assert cache.stats.disk_hits == 1
+        assert len(calls) == 1
+
+    def test_memory_tier_returns_same_object(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key("same")
+        first = cache.get_or_compute("t", key, lambda: np.arange(3.0))
+        assert cache.get_or_compute("t", key, lambda: None) is first
+
+    def test_disk_round_trip_is_bit_identical(self, tmp_path):
+        value = np.linspace(0.0, 1.0, 97) * np.pi
+        key = content_key("rt")
+        ResultCache(tmp_path).get_or_compute("t", key, lambda: value)
+        fresh = ResultCache(tmp_path)  # new memory tier: disk must serve
+        loaded = fresh.get_or_compute("t", key, lambda: pytest.fail("miss"))
+        assert (_bits(loaded) == _bits(value)).all()
+        assert fresh.stats.disk_hits == 1
+
+    def test_truncated_entry_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key("corrupt")
+        cache.get_or_compute("t", key, lambda: np.arange(64.0))
+        path = cache._entry_path("t", key)
+        path.write_bytes(path.read_bytes()[:10])
+        fresh = ResultCache(tmp_path)
+        got = fresh.get_or_compute("t", key, lambda: np.arange(64.0))
+        assert (got == np.arange(64.0)).all()
+        assert fresh.stats.load_errors == 1
+        assert fresh.stats.misses == 1
+        # the rewritten entry loads cleanly again
+        again = ResultCache(tmp_path)
+        again.get_or_compute("t", key, lambda: pytest.fail("miss"))
+        assert again.stats.disk_hits == 1
+
+    def test_disk_tier_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path, disk=False)
+        key = content_key("nodisk")
+        cache.get_or_compute("t", key, lambda: 1)
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_memory_lru_evicts_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_items=2, disk=False)
+        for i in range(3):
+            cache.get_or_compute("t", content_key(i), lambda i=i: i)
+        cache.get_or_compute("t", content_key(0), lambda: 0)
+        assert cache.stats.misses == 4  # entry 0 was evicted
+
+
+class TestCachedArtifactsBitIdentical:
+    def test_matrix(self, isolated_cache):
+        cached = generate_matrix("spmsrtls", scale=0.05)
+        fresh = _generate_matrix_uncached("spmsrtls", 0.05, 1325)
+        assert (cached.indptr == fresh.indptr).all()
+        assert (cached.indices == fresh.indices).all()
+        assert (_bits(cached.data) == _bits(fresh.data)).all()
+        # and through the disk tier (fresh memory tier)
+        isolated_cache.clear_memory()
+        disk = generate_matrix("spmsrtls", scale=0.05)
+        assert disk is not cached
+        assert (_bits(disk.data) == _bits(cached.data)).all()
+        assert isolated_cache.stats.disk_hits == 1
+
+    def test_graph(self, isolated_cache):
+        src, dst, n = generate_graph("mycielskian17")
+        fsrc, fdst, fn = _generate_graph_uncached("mycielskian17", 1325)
+        assert n == fn
+        assert (src == fsrc).all() and (dst == fdst).all()
+        isolated_cache.clear_memory()
+        dsrc, ddst, dn = generate_graph("mycielskian17")
+        assert (dsrc == src).all() and (ddst == dst).all() and dn == n
+
+    def test_functional_execution(self, isolated_cache):
+        w, dev = ScanWorkload(), Device("H200")
+        cached = accuracy_table(w, dev)
+        fresh = _accuracy_table_uncached(w, dev)
+        assert cached == fresh  # ErrorEntry equality is exact float equality
+        isolated_cache.clear_memory()
+        assert accuracy_table(w, dev) == fresh
+        assert isolated_cache.stats.disk_hits == 1

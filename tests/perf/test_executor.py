@@ -1,0 +1,69 @@
+"""ParallelExecutor: ordering, determinism, chunking, fallback."""
+
+import pytest
+
+from repro.perf.executor import ParallelExecutor, _chunk_bounds, resolve_n_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _addmul(a: int, b: int) -> int:
+    return a + 10 * b
+
+
+class TestResolveNJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_n_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_n_jobs() == 5
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert resolve_n_jobs() >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestChunking:
+    def test_bounds_cover_exactly(self):
+        assert _chunk_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert _chunk_bounds(0, 4) == []
+        assert _chunk_bounds(3, 8) == [(0, 3)]
+
+    def test_bounds_are_deterministic(self):
+        assert _chunk_bounds(101, 7) == _chunk_bounds(101, 7)
+
+
+class TestMap:
+    def test_serial_path_preserves_order(self):
+        ex = ParallelExecutor(1)
+        assert ex.map(_square, range(9)) == [i * i for i in range(9)]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(23))
+        serial = ParallelExecutor(1).map(_square, items)
+        parallel = ParallelExecutor(2).map(_square, items, chunk_size=3)
+        assert parallel == serial
+
+    def test_starmap(self):
+        pairs = [(i, i + 1) for i in range(8)]
+        assert ParallelExecutor(2).starmap(_addmul, pairs) == \
+            [a + 10 * b for a, b in pairs]
+
+    def test_empty_input(self):
+        assert ParallelExecutor(2).map(_square, []) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            ParallelExecutor(2).map(_fail_on_five, list(range(10)))
+
+
+def _fail_on_five(x: int) -> float:
+    return 1.0 / (x - 5)

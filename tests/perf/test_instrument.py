@@ -1,0 +1,56 @@
+"""Stage-timing registry."""
+
+import pytest
+
+from repro.perf.instrument import (
+    record_stage,
+    reset_stage_timings,
+    stage,
+    stage_timings,
+)
+from repro.harness.report import format_stage_timings
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_stage_timings()
+    yield
+    reset_stage_timings()
+
+
+class TestInstrument:
+    def test_record_accumulates(self):
+        record_stage("a", 1.0)
+        record_stage("a", 0.5)
+        record_stage("b", 2.0)
+        by = {t.name: t for t in stage_timings()}
+        assert by["a"].seconds == pytest.approx(1.5)
+        assert by["a"].calls == 2
+        assert by["b"].calls == 1
+
+    def test_stage_context_manager_times_body(self):
+        with stage("body"):
+            pass
+        (t,) = stage_timings()
+        assert t.name == "body" and t.seconds >= 0.0 and t.calls == 1
+
+    def test_stage_records_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with stage("boom"):
+                raise RuntimeError()
+        assert stage_timings()[0].calls == 1
+
+    def test_insertion_order_and_reset(self):
+        record_stage("z", 1.0)
+        record_stage("a", 1.0)
+        assert [t.name for t in stage_timings()] == ["z", "a"]
+        reset_stage_timings()
+        assert stage_timings() == []
+
+    def test_format_stage_timings(self):
+        record_stage("fast", 1.0)
+        record_stage("slow", 3.0)
+        text = format_stage_timings(stage_timings())
+        lines = text.splitlines()  # title, header, rule, rows by wall desc
+        assert "slow" in lines[3] and "75%" in lines[3]
+        assert "fast" in lines[4] and "25%" in lines[4]
