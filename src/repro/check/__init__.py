@@ -1,0 +1,44 @@
+"""``repro.check`` — static and dynamic correctness tooling for the suite.
+
+The headline results of the reproduction rest on invariants that ordinary
+tests cannot see from the outside:
+
+* TC and CC variants must route through the *same* batched ``mma_m8n8k4``
+  primitive so the Table 6 TC≡CC bit-identity holds by construction
+  (DESIGN.md §6.1);
+* fragment and lane ownership must follow the PTX ``m8n8k4`` layout
+  (Figure 1b);
+* kernel/model code must be deterministic (DESIGN.md §6.4) and FP64-pure
+  outside the mixed-precision spec code;
+* :class:`~repro.gpu.counters.KernelStats` counters must be built through
+  the counter API so the execute/analytic agreement tests stay meaningful.
+
+This package enforces them with two layers:
+
+* **Layer 1 — AST lint** (:mod:`repro.check.lint`,
+  :mod:`repro.check.contracts`): codebase-specific rules ``R001``-``R007``
+  over ``src/repro``.
+* **Layer 2 — warp-hazard sanitizer** (:mod:`repro.check.hazards`,
+  :mod:`repro.check.dynamic`): a compute-sanitizer/racecheck analog for the
+  emulated warp, fed by the instrumentation hooks in
+  :mod:`repro.gpu.warp_events`; rules ``H001``-``H004``.
+
+Both layers emit structured :class:`~repro.check.findings.Finding` records,
+honour a checked-in suppression baseline (``check_baseline.json``), and are
+wired into CI through the ``repro check`` CLI subcommand.
+"""
+
+from .findings import Baseline, Finding, Suppression, apply_baseline
+from .hazards import WarpSanitizer
+from .runner import CheckReport, default_baseline_path, run_check
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "Baseline",
+    "apply_baseline",
+    "WarpSanitizer",
+    "CheckReport",
+    "run_check",
+    "default_baseline_path",
+]

@@ -1,0 +1,317 @@
+"""Layer 1, part two: Workload contract and MMA call-graph verification.
+
+* ``R004`` workload-contract — every :class:`Workload` subclass implements
+  the full contract (``cases``/``prepare``/``reference``/``execute``/
+  ``analytic_stats``) and declares its identity class attributes.
+* ``R005`` mma-callgraph — the TC *and* CC execute paths of every workload
+  must reach one of the shared MMA primitives in ``gpu/mma.py``, and must
+  share at least one such primitive.  This is the structural backing of the
+  Table 6 TC≡CC bit-identity claim (DESIGN.md §6.1): identical outputs hold
+  *by construction* only if both variants route through the same
+  k-sequential accumulation code.
+* ``R006`` resolve-variant — Quadrant I workloads (``has_cce = False``)
+  must call ``self.resolve_variant`` in ``execute`` and ``analytic_stats``;
+  otherwise a CC-E request silently falls through the variant dispatch into
+  whatever ``else`` branch exists (usually the baseline), bypassing the
+  CC-E≡CC contract instead of enforcing it.
+
+The call-graph analysis is branch-sensitive over the ``variant`` parameter:
+``if variant is Variant.TC`` / ``elif variant in (Variant.TC, Variant.CC)``
+chains narrow the variant domain per branch, helpers taking a ``variant``
+parameter are analyzed under the caller's domain, and every other condition
+is treated as potentially true (a sound over-approximation of reachability,
+paired with an emptiness check per variant that keeps it useful).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .findings import Finding
+from .lint import _ImportResolver, _resolve_dotted
+
+__all__ = ["contract_findings", "contracts_tree", "MMA_PRIMITIVES"]
+
+#: the shared functional primitives of gpu/mma.py
+MMA_PRIMITIVES = frozenset({
+    "mma_m8n8k4", "mma_m8n8k4_batched", "mma_fp64_batched",
+    "warp_gemm_m8n8k4", "mma_m8n8k128_b1", "mma_b1_batched",
+})
+
+REQUIRED_METHODS = ("cases", "prepare", "reference", "execute",
+                    "analytic_stats")
+REQUIRED_CLASS_ATTRS = ("name", "quadrant", "dwarf", "baseline_name")
+
+_ALL_VARIANTS = frozenset({"baseline", "tc", "cc", "cce"})
+
+
+def _variant_literal(node: ast.expr) -> frozenset[str] | None:
+    """``Variant.TC`` → {"tc"}; None if not a Variant member access."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "Variant":
+        member = node.attr.lower()
+        return frozenset({member}) if member in _ALL_VARIANTS else None
+    return None
+
+
+def _eval_variant_test(test: ast.expr, var_name: str | None
+                       ) -> tuple[frozenset[str], frozenset[str]] | None:
+    """(variants where test holds, where it fails), or None if the test
+    does not constrain the variant parameter."""
+    if var_name is None or not isinstance(test, ast.Compare) \
+            or len(test.ops) != 1:
+        return None
+    if not (isinstance(test.left, ast.Name) and test.left.id == var_name):
+        return None
+    op, rhs = test.ops[0], test.comparators[0]
+    if isinstance(op, (ast.Is, ast.Eq, ast.IsNot, ast.NotEq)):
+        s = _variant_literal(rhs)
+        if s is None:
+            return None
+        return (s, _ALL_VARIANTS - s) if isinstance(op, (ast.Is, ast.Eq)) \
+            else (_ALL_VARIANTS - s, s)
+    if isinstance(op, (ast.In, ast.NotIn)) \
+            and isinstance(rhs, (ast.Tuple, ast.List, ast.Set)):
+        members = [_variant_literal(e) for e in rhs.elts]
+        if any(m is None for m in members):
+            return None
+        s = frozenset().union(*members)
+        return (s, _ALL_VARIANTS - s) if isinstance(op, ast.In) \
+            else (_ALL_VARIANTS - s, s)
+    return None
+
+
+class _ModuleIndex:
+    """Functions and methods of one module, plus resolved import names."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        resolver = _ImportResolver()
+        resolver.visit(tree)
+        self.names = resolver.names
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+
+    def methods_of(self, cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+        return {n.name: n for n in cls.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+    def is_primitive(self, call: ast.Call) -> str | None:
+        """Name of the gpu.mma primitive a call resolves to, if any."""
+        full = _resolve_dotted(call.func, self.names)
+        if full is None:
+            return None
+        leaf = full.rsplit(".", 1)[-1]
+        if leaf in MMA_PRIMITIVES and "gpu.mma" in full:
+            return leaf
+        return None
+
+
+def _live_calls(func: ast.FunctionDef, variant: str
+                ) -> list[ast.Call]:
+    """All Call nodes reachable when the ``variant`` parameter equals
+    ``variant``, honouring variant-dispatch branches."""
+    params = {a.arg for a in func.args.args + func.args.kwonlyargs}
+    var_name = "variant" if "variant" in params else None
+    out: list[ast.Call] = []
+
+    def calls_in(node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                out.append(sub)
+
+    def visit_block(stmts: list[ast.stmt], live: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                calls_in(stmt.test)
+                gate = _eval_variant_test(stmt.test, var_name)
+                if gate is None:
+                    visit_block(stmt.body, live)
+                    visit_block(stmt.orelse, live)
+                else:
+                    true_set, false_set = gate
+                    visit_block(stmt.body, live and variant in true_set)
+                    visit_block(stmt.orelse, live and variant in false_set)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                if live:
+                    calls_in(stmt.iter)
+                visit_block(stmt.body, live)
+                visit_block(stmt.orelse, live)
+            elif isinstance(stmt, ast.While):
+                if live:
+                    calls_in(stmt.test)
+                visit_block(stmt.body, live)
+                visit_block(stmt.orelse, live)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body, live)
+                for h in stmt.handlers:
+                    visit_block(h.body, live)
+                visit_block(stmt.orelse, live)
+                visit_block(stmt.finalbody, live)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if live:
+                    for item in stmt.items:
+                        calls_in(item.context_expr)
+                visit_block(stmt.body, live)
+            elif live:
+                calls_in(stmt)
+
+    visit_block(func.body, True)
+    return out
+
+
+def _reachable_primitives(index: _ModuleIndex,
+                          methods: dict[str, ast.FunctionDef],
+                          func: ast.FunctionDef, variant: str,
+                          seen: set[str]) -> set[str]:
+    """Primitive names reachable from ``func`` under ``variant``."""
+    if func.name in seen:
+        return set()
+    seen.add(func.name)
+    prims: set[str] = set()
+    for call in _live_calls(func, variant):
+        leaf = index.is_primitive(call)
+        if leaf is not None:
+            prims.add(leaf)
+            continue
+        callee: ast.FunctionDef | None = None
+        f = call.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
+                and f.value.id in ("self", "cls"):
+            callee = methods.get(f.attr)
+        elif isinstance(f, ast.Name):
+            callee = index.functions.get(f.id)
+            if callee is None and f.id in index.classes:
+                callee = None  # constructor: not followed
+        if callee is not None:
+            prims |= _reachable_primitives(index, methods, callee,
+                                           variant, seen)
+    return prims
+
+
+def _is_workload_class(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else \
+            base.id if isinstance(base, ast.Name) else None
+        if name == "Workload":
+            return True
+    return False
+
+
+def _class_attr_names(cls: ast.ClassDef) -> set[str]:
+    out: set[str] = set()
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            out |= {t.id for t in node.targets if isinstance(t, ast.Name)}
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.value is not None:
+            out.add(node.target.id)
+    return out
+
+
+def _has_cce_false(cls: ast.ClassDef) -> bool:
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == "has_cce":
+                    return isinstance(node.value, ast.Constant) \
+                        and node.value.value is False
+    return False
+
+
+def _calls_resolve_variant(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "resolve_variant":
+            return True
+    return False
+
+
+def contract_findings(tree: ast.Module, relpath: str) -> list[Finding]:
+    """R004/R005/R006 over one kernels module."""
+    index = _ModuleIndex(tree)
+    findings: list[Finding] = []
+    for cls in index.classes.values():
+        if not _is_workload_class(cls):
+            continue
+        methods = index.methods_of(cls)
+
+        # R004: full contract
+        missing = [m for m in REQUIRED_METHODS if m not in methods]
+        attrs = _class_attr_names(cls)
+        missing_attrs = [a for a in REQUIRED_CLASS_ATTRS if a not in attrs]
+        if missing or missing_attrs:
+            parts = []
+            if missing:
+                parts.append(f"methods {', '.join(missing)}")
+            if missing_attrs:
+                parts.append(f"class attrs {', '.join(missing_attrs)}")
+            findings.append(Finding(
+                rule="R004", severity="error", path=relpath,
+                symbol=cls.name, line=cls.lineno,
+                message=f"Workload contract incomplete: missing "
+                        f"{'; '.join(parts)}"))
+
+        # R005: TC/CC must share an MMA primitive
+        execute = methods.get("execute")
+        if execute is not None:
+            reach = {v: _reachable_primitives(index, methods, execute,
+                                              v, set())
+                     for v in ("tc", "cc")}
+            for v in ("tc", "cc"):
+                if not reach[v]:
+                    findings.append(Finding(
+                        rule="R005", severity="error", path=relpath,
+                        symbol=cls.name, line=execute.lineno,
+                        message=f"{v.upper()} execute path never reaches a "
+                                "shared gpu.mma primitive; the Table 6 "
+                                "TC≡CC bit-identity cannot hold by "
+                                "construction (DESIGN.md §6.1)"))
+            if reach["tc"] and reach["cc"] \
+                    and not (reach["tc"] & reach["cc"]):
+                findings.append(Finding(
+                    rule="R005", severity="error", path=relpath,
+                    symbol=cls.name, line=execute.lineno,
+                    message="TC and CC reach disjoint MMA primitives "
+                            f"({sorted(reach['tc'])} vs "
+                            f"{sorted(reach['cc'])}); they must share the "
+                            "accumulation-order primitive"))
+
+        # R006: Quadrant I CC-E fallback must be explicit
+        if _has_cce_false(cls):
+            for mname in ("execute", "analytic_stats"):
+                m = methods.get(mname)
+                if m is not None and not _calls_resolve_variant(m):
+                    findings.append(Finding(
+                        rule="R006", severity="error", path=relpath,
+                        symbol=f"{cls.name}.{mname}", line=m.lineno,
+                        message="has_cce=False workload must call "
+                                "self.resolve_variant here; otherwise a "
+                                "CC-E request silently falls through the "
+                                "variant dispatch (CC-E≡CC, Section 5.2)"))
+    return findings
+
+
+def contracts_tree(root: str | Path) -> list[Finding]:
+    """Run the contract rules over ``kernels/`` beneath the package root."""
+    root = Path(root)
+    findings: list[Finding] = []
+    kernels = root / "kernels"
+    if not kernels.is_dir():
+        return findings
+    for path in sorted(kernels.glob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        if relpath == "kernels/base.py":
+            continue
+        tree = ast.parse(path.read_text(), filename=relpath)
+        findings.extend(contract_findings(tree, relpath))
+    findings.sort(key=lambda f: (f.path, f.line or 0, f.rule))
+    return findings

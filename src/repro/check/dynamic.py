@@ -1,0 +1,72 @@
+"""The dynamic sanitizer battery behind ``repro check``.
+
+Runs the instrumented warp-level paths under a :class:`WarpSanitizer`:
+
+1. Algorithm 1 literally — ``warp_gemm_m8n8k4`` on LCG data;
+2. fragment distribute/collect round trips for all three fragment kinds;
+3. every execute path (all variants) of each selected workload at its
+   smallest (down-scaled) case.  Batched ``m8n8k4``-shaped MMA calls replay one
+   representative warp's fragment traffic per call (sampled sanitization),
+   so the DASP SpMV and constant-operand Reduction chains are audited
+   without per-tile cost; generalized-shape calls (fused-k GEMM tiles) are
+   exercised through battery 1's exact path instead.
+
+Everything is deterministic: data comes from the LCG, and the battery runs
+on the simulated H200 (any device would do — hazards are device-blind).
+"""
+
+from __future__ import annotations
+
+from ..datasets.synthetic import Lcg
+from ..gpu.device import Device
+from ..gpu.fragments import (
+    collect_c,
+    distribute_a,
+    distribute_b,
+    distribute_c,
+)
+from ..gpu.mma import warp_gemm_m8n8k4
+from ..kernels import all_workloads, get_workload
+from .hazards import WarpSanitizer
+
+__all__ = ["run_dynamic"]
+
+
+def _battery_warp_gemm(rng: Lcg) -> None:
+    a = rng.uniform(32, shape=(8, 4))
+    b = rng.uniform(32, shape=(4, 8))
+    warp_gemm_m8n8k4(a, b)
+
+
+def _battery_roundtrips(rng: Lcg) -> None:
+    distribute_a(rng.uniform(32, shape=(8, 4)))
+    distribute_b(rng.uniform(32, shape=(4, 8)))
+    collect_c(distribute_c(rng.uniform(64, shape=(8, 8))))
+
+
+def _battery_workloads(names: list[str] | None) -> None:
+    device = Device("H200")
+    workloads = all_workloads() if not names \
+        else [get_workload(n) for n in names]
+    for w in workloads:
+        case = w.exec_case(w.cases()[0])
+        data = w.prepare(case)
+        for variant in w.variants():
+            w.execute(variant, data, device)
+
+
+def run_dynamic(workloads: list[str] | None = None,
+                include_workloads: bool = True) -> WarpSanitizer:
+    """Run the battery; returns the sanitizer holding its findings."""
+    rng = Lcg(1325)
+    with WarpSanitizer() as san:
+        _battery_warp_gemm(rng)
+        _battery_roundtrips(rng)
+        if include_workloads:
+            _battery_workloads(workloads)
+    if san.accesses == 0:
+        # instrumentation went dark: that is itself a finding, not a pass
+        raise RuntimeError(
+            "warp sanitizer observed zero instrumented accesses; the "
+            "gpu.warp_events hooks are disconnected")
+    return san

@@ -1,0 +1,138 @@
+"""Structured findings and the suppression baseline.
+
+Every rule in both analysis layers reports :class:`Finding` records with a
+stable fingerprint (rule id, path, symbol).  Fingerprints deliberately
+exclude line numbers and message text, so a checked-in suppression baseline
+survives unrelated edits to the suppressed file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Suppression",
+    "Baseline",
+    "apply_baseline",
+]
+
+#: ordered from most to least severe
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is package-relative for lint findings (``kernels/gemv.py``)
+    and a ``warp://scope/array`` site for sanitizer findings.  ``symbol``
+    names the class/function (lint) or the accessed array (sanitizer).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    symbol: str
+    message: str
+    line: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def format(self, prefix: str = "") -> str:
+        loc = f"{prefix}{self.path}"
+        if self.line is not None:
+            loc += f":{self.line}"
+        return f"{loc}: {self.rule} [{self.severity}] {self.symbol}: " \
+               f"{self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry.  ``justification`` is mandatory: the baseline is
+    a record of *accepted* deviations, not a mute button."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (self.rule == finding.rule and self.path == finding.path
+                and self.symbol == finding.symbol)
+
+
+@dataclass
+class Baseline:
+    """The checked-in suppression set (``check_baseline.json``)."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        raw = json.loads(path.read_text())
+        entries = raw.get("suppressions", []) if isinstance(raw, dict) else raw
+        sups = []
+        for e in entries:
+            if not e.get("justification"):
+                raise ValueError(
+                    f"baseline entry {e.get('rule')}:{e.get('path')} has no "
+                    "justification; every suppression must explain itself")
+            sups.append(Suppression(rule=e["rule"], path=e["path"],
+                                    symbol=e.get("symbol", ""),
+                                    justification=e["justification"]))
+        return cls(sups)
+
+    def save(self, path: str | Path) -> None:
+        payload = {"version": 1,
+                   "suppressions": [asdict(s) for s in self.suppressions]}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def match(self, finding: Finding) -> Suppression | None:
+        for s in self.suppressions:
+            if s.matches(finding):
+                return s
+        return None
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      justification: str = "TODO: justify") -> "Baseline":
+        seen: dict[tuple, Suppression] = {}
+        for f in findings:
+            seen.setdefault(f.fingerprint, Suppression(
+                rule=f.rule, path=f.path, symbol=f.symbol,
+                justification=justification))
+        return cls(list(seen.values()))
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline
+                   ) -> tuple[list[Finding], list[Finding], list[Suppression]]:
+    """Split findings into (active, suppressed); also return baseline
+    entries that matched nothing (stale suppressions worth pruning)."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[Suppression] = set()
+    for f in findings:
+        s = baseline.match(f)
+        if s is None:
+            active.append(f)
+        else:
+            suppressed.append(f)
+            used.add(s)
+    unused = [s for s in baseline.suppressions if s not in used]
+    return active, suppressed, unused

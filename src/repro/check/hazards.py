@@ -1,0 +1,208 @@
+"""Layer 2: the warp-hazard sanitizer (a racecheck analog for the emulated
+warp).
+
+:class:`WarpSanitizer` installs itself as the :mod:`repro.gpu.warp_events`
+tracer and audits the per-lane traffic the instrumented fragment and MMA
+paths report:
+
+* ``H001`` write-write hazard — two lanes write the same simulated
+  shared-memory cell with no intervening warp sync;
+* ``H002`` read-write hazard — a lane reads a cell another lane wrote (or
+  writes a cell another lane read) in the same sync epoch;
+* ``H003`` bank conflict (warning) — within one warp-wide access, two lanes
+  of the same half-warp touch different addresses in the same bank.  The
+  model is 32 banks of one FP64 word, evaluated per 16-lane half: 64-bit
+  shared accesses issue as two half-warp transactions on real hardware, so
+  cross-half collisions are not conflicts;
+* ``H004`` lane-ownership violation — a fragment access whose (lane, row,
+  col) does not match the PTX ``m8n8k4`` layout of Figure 1b
+  (``gpu/fragments.py``).
+
+Hazard state is kept per scope (one simulated kernel / warp program) and
+cleared at every ``sync``.  Findings are deduplicated by (rule, scope,
+array): a racy loop reports once, not once per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import fragments, warp_events
+from .findings import Finding
+
+__all__ = ["WarpSanitizer", "N_BANKS", "HALF_WARP"]
+
+#: shared-memory banks in the FP64-word model
+N_BANKS = 32
+#: 64-bit accesses issue per half-warp
+HALF_WARP = 16
+
+_FRAGMENT_WIDTH = {"A": 4, "B": 8, "C": 8}
+
+
+class _Epoch:
+    """Read/write sets since the last sync, per simulated array."""
+
+    def __init__(self) -> None:
+        # (array, offset) -> (set of writer lanes, set of reader lanes)
+        self.cells: dict[tuple[str, int], tuple[set[int], set[int]]] = {}
+
+    def cell(self, array: str, offset: int) -> tuple[set[int], set[int]]:
+        key = (array, int(offset))
+        if key not in self.cells:
+            self.cells[key] = (set(), set())
+        return self.cells[key]
+
+    def clear(self) -> None:
+        self.cells.clear()
+
+
+class WarpSanitizer:
+    """Collects hazard findings from instrumented warp-level code.
+
+    Use as a context manager::
+
+        with WarpSanitizer() as san:
+            warp_gemm_m8n8k4(a, b)
+        assert not san.findings()
+    """
+
+    def __init__(self, check_bank_conflicts: bool = True) -> None:
+        self.check_bank_conflicts = check_bank_conflicts
+        self._findings: list[Finding] = []
+        self._emitted: set[tuple[str, str, str]] = set()
+        self._scopes: list[tuple[str, _Epoch]] = []
+        self._global_epoch = _Epoch()
+        #: total instrumented warp-wide accesses observed (lets callers
+        #: assert the instrumentation actually fired)
+        self.accesses = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------ install
+    def __enter__(self) -> "WarpSanitizer":
+        warp_events.install(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        warp_events.uninstall(self)
+
+    # ------------------------------------------------------ tracer protocol
+    def begin_scope(self, name: str) -> None:
+        self._scopes.append((name, _Epoch()))
+
+    def end_scope(self) -> None:
+        if self._scopes:
+            self._scopes.pop()
+
+    def sync(self, label: str = "") -> None:
+        self.syncs += 1
+        self._current_epoch().clear()
+
+    def fragment_access(self, kind: str, op: str, lanes, rows, cols,
+                        reg: int | None = None) -> None:
+        lanes = np.asarray(lanes)
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        self._check_ownership(kind, lanes, rows, cols, reg)
+        width = _FRAGMENT_WIDTH.get(kind, 32)
+        self.shared_access(op, kind, lanes, rows * width + cols, width)
+
+    def shared_access(self, op: str, array: str, lanes, offsets,
+                      width: int = 32) -> None:
+        lanes = np.asarray(lanes)
+        offsets = np.asarray(offsets)
+        self.accesses += 1
+        if self.check_bank_conflicts:
+            self._check_banks(array, lanes, offsets)
+        epoch = self._current_epoch()
+        for lane, off in zip(lanes.tolist(), offsets.tolist()):
+            writers, readers = epoch.cell(array, off)
+            if op == "write":
+                if writers - {lane}:
+                    self._emit("H001", "error", array,
+                               f"lanes {sorted(writers - {lane})} and "
+                               f"{lane} write cell {off} of {array!r} with "
+                               "no intervening warp sync")
+                elif readers - {lane}:
+                    self._emit("H002", "error", array,
+                               f"lane {lane} writes cell {off} of "
+                               f"{array!r} read by lanes "
+                               f"{sorted(readers - {lane})} in the same "
+                               "sync epoch")
+                writers.add(lane)
+            else:
+                if writers - {lane}:
+                    self._emit("H002", "error", array,
+                               f"lane {lane} reads cell {off} of {array!r} "
+                               f"written by lanes "
+                               f"{sorted(writers - {lane})} in the same "
+                               "sync epoch")
+                readers.add(lane)
+
+    # ------------------------------------------------------ checks
+    def _check_ownership(self, kind: str, lanes, rows, cols,
+                         reg: int | None) -> None:
+        if kind == "A":
+            exp_r = fragments.A_FRAGMENT_ROWS[lanes]
+            exp_c = fragments.A_FRAGMENT_COLS[lanes]
+        elif kind == "B":
+            exp_r = fragments.B_FRAGMENT_ROWS[lanes]
+            exp_c = fragments.B_FRAGMENT_COLS[lanes]
+        elif kind == "C":
+            r = 0 if reg is None else reg
+            exp_r = fragments.C_FRAGMENT_ROWS[lanes, r]
+            exp_c = fragments.C_FRAGMENT_COLS[lanes, r]
+        else:
+            return
+        bad = (rows != exp_r) | (cols != exp_c)
+        if np.any(bad):
+            lane = int(np.asarray(lanes)[bad][0])
+            self._emit(
+                "H004", "error", kind,
+                f"lane {lane} accesses {kind}[{int(np.asarray(rows)[bad][0])},"
+                f"{int(np.asarray(cols)[bad][0])}] but the PTX m8n8k4 "
+                f"layout assigns it {kind}"
+                f"[{int(np.asarray(exp_r)[bad][0])},"
+                f"{int(np.asarray(exp_c)[bad][0])}] (Figure 1b)")
+
+    def _check_banks(self, array: str, lanes, offsets) -> None:
+        for half in (lanes < HALF_WARP, lanes >= HALF_WARP):
+            offs = offsets[half]
+            if len(offs) < 2:
+                continue
+            banks = offs % N_BANKS
+            for b in np.unique(banks):
+                distinct = np.unique(offs[banks == b])
+                if len(distinct) > 1:
+                    self._emit(
+                        "H003", "warning", array,
+                        f"{len(distinct)}-way bank conflict on bank "
+                        f"{int(b)} of {array!r} (offsets "
+                        f"{[int(x) for x in distinct[:4]]}"
+                        f"{'…' if len(distinct) > 4 else ''}) within one "
+                        "half-warp access")
+
+    # ------------------------------------------------------ bookkeeping
+    def _current_epoch(self) -> _Epoch:
+        return self._scopes[-1][1] if self._scopes else self._global_epoch
+
+    def _scope_name(self) -> str:
+        return self._scopes[-1][0] if self._scopes else "<global>"
+
+    def _emit(self, rule: str, severity: str, array: str,
+              message: str) -> None:
+        scope = self._scope_name()
+        key = (rule, scope, array)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self._findings.append(Finding(
+            rule=rule, severity=severity, path=f"warp://{scope}/{array}",
+            symbol=array, message=message))
+
+    def findings(self) -> list[Finding]:
+        return sorted(self._findings,
+                      key=lambda f: (f.rule, f.path, f.symbol))
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings() if f.severity == "error"]

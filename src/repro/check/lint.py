@@ -1,0 +1,270 @@
+"""Layer 1, part one: per-file AST lint rules.
+
+Rules are specific to this codebase's invariants (see docs/CHECK.md):
+
+* ``R001`` no-unseeded-rng — model/kernel code may not draw from global or
+  unseeded RNG state; all randomness flows from the LINPACK-style LCG or an
+  explicitly seeded generator (DESIGN.md §6.4).
+* ``R002`` no-wall-clock — model/kernel code may not read wall-clock time;
+  modeled time is pure arithmetic, so reruns reproduce identical tables.
+* ``R003`` fp64-purity — kernel math paths are FP64 end-to-end; reduced
+  precision lives only in the mixed-precision spec code
+  (``gpu/mma_mixed.py``).
+* ``R007`` kernelstats-api — outside ``gpu/``, :class:`KernelStats`
+  counters are built through the counter API (``add_*``/``read_dram``/
+  ``note_*``), never by direct field assignment, so the execute vs
+  analytic-stats agreement tests check real accounting code.
+
+Rule scoping is by path relative to the ``repro`` package root, which lets
+tests lint synthetic package trees laid out the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .findings import Finding
+
+__all__ = [
+    "LintRule",
+    "LINT_RULES",
+    "lint_source",
+    "lint_file",
+    "lint_tree",
+    "MODEL_PACKAGES",
+    "FP64_SCOPE",
+    "COUNTER_FIELDS",
+    "KNOB_FIELDS",
+]
+
+#: packages holding model/kernel code — deterministic, clock-free by
+#: contract.  ``perf/`` and ``harness/`` are measurement infrastructure and
+#: legitimately read timers; the CLI is interactive glue.
+MODEL_PACKAGES = ("kernels", "gpu", "sparse", "datasets", "analysis",
+                  "apps", "suites")
+
+#: packages whose math must stay FP64, with per-file allowlist
+FP64_SCOPE = ("kernels", "gpu", "sparse")
+FP64_ALLOWED_FILES = ("gpu/mma_mixed.py",)
+
+#: KernelStats fields that are *counters*: mutable only through the API
+COUNTER_FIELDS = frozenset({
+    "tc_flops", "cc_flops", "tc_b1_ops", "cc_int_ops",
+    "mma_instructions", "fma_instructions", "dram", "l1_bytes",
+    "smem_bytes", "mma_input_useful", "mma_input_total",
+    "mma_output_useful", "mma_output_total",
+})
+
+#: KernelStats fields that are declared model knobs/configuration — direct
+#: assignment is the intended interface
+KNOB_FIELDS = frozenset({
+    "tc_efficiency", "cc_efficiency", "mlp", "serial_stages",
+    "essential_flops",
+})
+
+_RNG_ALLOWED_TAILS = ("default_rng", "Random", "seed", "SeedSequence")
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+_LOW_PRECISION_ATTRS = frozenset({"float32", "float16", "half", "single"})
+_LOW_PRECISION_STRINGS = frozenset({"float32", "float16", "f4", "f2",
+                                    "<f4", "<f2"})
+
+
+def _in_packages(relpath: str, packages: Iterable[str]) -> bool:
+    top = relpath.split("/", 1)[0]
+    return top in packages
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One AST rule: an id, an invariant, a path scope, and a checker."""
+
+    rule: str
+    title: str
+    severity: str
+    applies: Callable[[str], bool]
+    check: Callable[[ast.Module, str], list[Finding]]
+
+
+class _ImportResolver(ast.NodeVisitor):
+    """Map local names to fully qualified module paths.
+
+    ``import numpy as np`` → ``np: numpy``;
+    ``from datetime import datetime`` → ``datetime: datetime.datetime``.
+    Relative imports resolve to ``.``-prefixed paths, which never collide
+    with the absolute stdlib/numpy prefixes the rules look for.
+    """
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            self.names[local] = alias.name if alias.asname else \
+                alias.name.split(".", 1)[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = ("." * node.level) + (node.module or "")
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _resolve_dotted(node: ast.expr, names: dict[str, str]) -> str | None:
+    """Best-effort fully qualified name of an attribute chain."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    root = names.get(cur.id, cur.id)
+    return ".".join([root] + list(reversed(parts)))
+
+
+def _check_rng_and_clock(tree: ast.Module, relpath: str) -> list[Finding]:
+    resolver = _ImportResolver()
+    resolver.visit(tree)
+    names = resolver.names
+    out: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        full = _resolve_dotted(node.func, names)
+        if full is None:
+            continue
+        if full.startswith("numpy.random.") or full.startswith("random."):
+            tail = full.rsplit(".", 1)[-1]
+            if tail in _RNG_ALLOWED_TAILS and node.args:
+                continue  # explicitly seeded
+            out.append(Finding(
+                rule="R001", severity="error", path=relpath,
+                symbol=full, line=node.lineno,
+                message="unseeded/global RNG in model code; draw from the "
+                        "LCG (datasets.synthetic) or pass an explicit seed"))
+        elif full in _CLOCK_CALLS:
+            out.append(Finding(
+                rule="R002", severity="error", path=relpath,
+                symbol=full, line=node.lineno,
+                message="wall-clock read in model code; modeled time must "
+                        "be pure arithmetic (DESIGN.md §6.4)"))
+    return out
+
+
+def _check_fp64_purity(tree: ast.Module, relpath: str) -> list[Finding]:
+    resolver = _ImportResolver()
+    resolver.visit(tree)
+    names = resolver.names
+    out: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            full = _resolve_dotted(node, names)
+            if full and full.startswith("numpy.") \
+                    and full.rsplit(".", 1)[-1] in _LOW_PRECISION_ATTRS:
+                out.append(Finding(
+                    rule="R003", severity="error", path=relpath,
+                    symbol=full, line=node.lineno,
+                    message="reduced-precision dtype in an FP64 kernel "
+                            "path; only gpu/mma_mixed.py may quantize"))
+        elif isinstance(node, ast.Constant) \
+                and isinstance(node.value, str) \
+                and node.value in _LOW_PRECISION_STRINGS:
+            out.append(Finding(
+                rule="R003", severity="error", path=relpath,
+                symbol=node.value, line=node.lineno,
+                message="reduced-precision dtype string in an FP64 kernel "
+                        "path; only gpu/mma_mixed.py may quantize"))
+    # attribute chains visit their sub-nodes too; dedupe by location
+    seen: set[tuple] = set()
+    deduped = []
+    for f in out:
+        key = (f.line, f.symbol)
+        if key not in seen:
+            seen.add(key)
+            deduped.append(f)
+    return deduped
+
+
+def _check_kernelstats_api(tree: ast.Module, relpath: str) -> list[Finding]:
+    out: list[Finding] = []
+
+    def flag(node: ast.AST, attr: str, how: str) -> None:
+        out.append(Finding(
+            rule="R007", severity="error", path=relpath,
+            symbol=attr, line=node.lineno,
+            message=f"KernelStats counter {attr!r} {how} outside gpu/; "
+                    "use the counter API (add_*/read_dram/write_dram/"
+                    "note_mma_utilization) so accounting stays auditable"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Attribute) and t.attr in COUNTER_FIELDS:
+                    flag(node, t.attr, "assigned directly")
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("append", "extend", "insert", "pop",
+                                       "clear") \
+                and isinstance(node.func.value, ast.Attribute) \
+                and node.func.value.attr == "dram":
+            flag(node, "dram", f"mutated via .{node.func.attr}()")
+    return out
+
+
+LINT_RULES: tuple[LintRule, ...] = (
+    LintRule("R001", "no-unseeded-rng", "error",
+             lambda p: _in_packages(p, MODEL_PACKAGES),
+             _check_rng_and_clock),
+    LintRule("R003", "fp64-purity", "error",
+             lambda p: _in_packages(p, FP64_SCOPE)
+             and p not in FP64_ALLOWED_FILES,
+             _check_fp64_purity),
+    LintRule("R007", "kernelstats-api", "error",
+             lambda p: not p.startswith("gpu/"),
+             _check_kernelstats_api),
+)
+# R002 shares R001's checker (one resolution pass emits both rule ids);
+# both are scoped by MODEL_PACKAGES through the R001 entry above.
+
+
+def lint_source(source: str, relpath: str) -> list[Finding]:
+    """Lint one module's source; ``relpath`` is package-relative with
+    forward slashes (e.g. ``kernels/gemv.py``)."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [Finding(rule="R000", severity="error", path=relpath,
+                        symbol="<parse>", line=exc.lineno,
+                        message=f"syntax error: {exc.msg}")]
+    findings: list[Finding] = []
+    for rule in LINT_RULES:
+        if rule.applies(relpath):
+            findings.extend(rule.check(tree, relpath))
+    return findings
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    relpath = path.relative_to(root).as_posix()
+    return lint_source(path.read_text(), relpath)
+
+
+def lint_tree(root: str | Path) -> list[Finding]:
+    """Lint every ``.py`` file under the package root (``src/repro``)."""
+    root = Path(root)
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(lint_file(path, root))
+    findings.sort(key=lambda f: (f.path, f.line or 0, f.rule))
+    return findings

@@ -1,0 +1,127 @@
+"""Orchestrates both analysis layers and applies the suppression baseline.
+
+:func:`run_check` is the engine behind ``repro check`` and the CI ``check``
+job: it lints the ``repro`` package (R00x rules), verifies the Workload
+contracts and the TC/CC MMA call graph (R004-R006), runs the dynamic
+warp-hazard battery (H00x rules), folds the checked-in baseline in, and
+returns a :class:`CheckReport` that renders to text or JSON.
+
+Exit-code contract: the check *fails* (``report.ok is False``) iff any
+error-severity finding is not covered by the baseline.  Warnings and stale
+baseline entries are reported but do not gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .contracts import contracts_tree
+from .dynamic import run_dynamic
+from .findings import Baseline, Finding, Suppression, apply_baseline
+from .lint import lint_tree
+
+__all__ = ["CheckReport", "run_check", "default_baseline_path",
+           "package_root"]
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (lint root)."""
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> Path:
+    """``check_baseline.json`` at the repository root (``src/../..``)."""
+    return package_root().parents[1] / "check_baseline.json"
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run produced."""
+
+    active: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+    #: dynamic-battery coverage counters (0 when the battery was skipped)
+    sanitized_accesses: int = 0
+    sanitized_syncs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.active)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return self.active + self.suppressed
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "active": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "unused_suppressions": [
+                {"rule": s.rule, "path": s.path, "symbol": s.symbol,
+                 "justification": s.justification}
+                for s in self.unused_suppressions],
+            "sanitized_accesses": self.sanitized_accesses,
+            "sanitized_syncs": self.sanitized_syncs,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def to_text(self) -> str:
+        lines: list[str] = []
+        for f in self.active:
+            lines.append(f.format())
+        for f in self.suppressed:
+            lines.append(f.format(prefix="[baselined] "))
+        for s in self.unused_suppressions:
+            lines.append(f"{s.path}: {s.rule} [info] {s.symbol}: stale "
+                         "baseline entry matched no finding; prune it")
+        n_err = sum(f.severity == "error" for f in self.active)
+        n_warn = sum(f.severity == "warning" for f in self.active)
+        lines.append(
+            f"{'OK' if self.ok else 'FAIL'}: {n_err} error(s), "
+            f"{n_warn} warning(s), {len(self.suppressed)} baselined, "
+            f"{len(self.unused_suppressions)} stale suppression(s); "
+            f"sanitized {self.sanitized_accesses} warp accesses across "
+            f"{self.sanitized_syncs} sync epochs")
+        return "\n".join(lines)
+
+
+def run_check(root: str | Path | None = None,
+              baseline: Baseline | str | Path | None = None,
+              lint: bool = True,
+              dynamic: bool = True,
+              workloads: list[str] | None = None) -> CheckReport:
+    """Run the full analysis.
+
+    ``root`` is the ``repro`` package directory (defaults to the installed
+    one); ``baseline`` is a :class:`Baseline`, a path, or None for the
+    checked-in default.  ``workloads`` restricts the dynamic battery.
+    """
+    root = package_root() if root is None else Path(root)
+    if baseline is None:
+        baseline = Baseline.load(default_baseline_path())
+    elif not isinstance(baseline, Baseline):
+        baseline = Baseline.load(baseline)
+
+    findings: list[Finding] = []
+    report = CheckReport()
+    if lint:
+        findings.extend(lint_tree(root))
+        findings.extend(contracts_tree(root))
+    if dynamic:
+        sanitizer = run_dynamic(workloads)
+        findings.extend(sanitizer.findings())
+        report.sanitized_accesses = sanitizer.accesses
+        report.sanitized_syncs = sanitizer.syncs
+
+    active, suppressed, unused = apply_baseline(findings, baseline)
+    report.active = active
+    report.suppressed = suppressed
+    report.unused_suppressions = unused
+    return report

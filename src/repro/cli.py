@@ -11,6 +11,7 @@ Mirrors the artifact's shell scripts:
 * ``roofline``   — Figure 9 points
 * ``observations`` — the nine-observation audit
 * ``suitability``— the algorithm-level MMU predictor on a sketch
+* ``check``      — kernel lint, contract verifier, warp-hazard sanitizer
 """
 
 from __future__ import annotations
@@ -166,6 +167,26 @@ def cmd_suitability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check import Baseline, default_baseline_path, run_check
+    baseline_path = args.baseline or default_baseline_path()
+    if args.write_baseline:
+        report = run_check(baseline=Baseline(), lint=not args.no_lint,
+                           dynamic=not args.no_dynamic,
+                           workloads=args.workload)
+        Baseline.from_findings(
+            report.active,
+            justification="TODO: justify this accepted deviation",
+        ).save(baseline_path)
+        print(f"wrote {len(report.active)} suppression(s) to "
+              f"{baseline_path}; fill in the justifications")
+        return 0
+    report = run_check(baseline=baseline_path, lint=not args.no_lint,
+                       dynamic=not args.no_dynamic, workloads=args.workload)
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return 0 if report.ok else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import run_bench, write_bench_json
     results = run_bench(args.bench or None, cache_dir=args.cache_dir)
@@ -212,6 +233,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verify the paper's nine observations")
     add_perf_opts(p)
     p.set_defaults(fn=cmd_observations)
+
+    p = sub.add_parser("check",
+                       help="kernel lint + workload contracts + warp-"
+                            "hazard sanitizer (docs/CHECK.md)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", default=None,
+                   help="suppression baseline path "
+                        "(default: check_baseline.json at the repo root)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current active findings as a new baseline "
+                        "instead of reporting them")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the static layer (lint + contracts)")
+    p.add_argument("--no-dynamic", action="store_true",
+                   help="skip the warp-hazard battery")
+    p.add_argument("--workload", nargs="*", default=None,
+                   help="restrict the dynamic battery to these workloads")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("bench",
                        help="cold/warm pipeline benchmarks "

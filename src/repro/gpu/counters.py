@@ -135,6 +135,32 @@ class KernelStats:
         self.mma_output_total += out_total
         self.mma_output_useful += out_total if output_useful is None else output_useful
 
+    def add_int_ops(self, ops: float) -> None:
+        """Account integer/bitwise vector-pipe ops (baseline BFS probes,
+        suite mini-kernels)."""
+        self.cc_int_ops += ops
+
+    def add_l1(self, total_bytes: float) -> None:
+        """Account bytes through the L1/shared-memory level."""
+        self.l1_bytes += total_bytes
+
+    def add_smem(self, total_bytes: float) -> None:
+        """Account bytes explicitly staged through shared memory."""
+        self.smem_bytes += total_bytes
+
+    def note_mma_utilization(self, *, input_useful: float = 0.0,
+                             input_total: float = 0.0,
+                             output_useful: float = 0.0,
+                             output_total: float = 0.0) -> None:
+        """Record fragment utilization for MMA-shaped work that is *not*
+        booked through ``add_mma_*`` (e.g. the CC replacement of a bit-MMA,
+        whose ops land on the integer pipe but whose Figure 2 utilization
+        signature must match the TC variant)."""
+        self.mma_input_useful += input_useful
+        self.mma_input_total += input_total
+        self.mma_output_useful += output_useful
+        self.mma_output_total += output_total
+
     def read_dram(self, total_bytes: float, segment_bytes: float = 1 << 20) -> None:
         """Record a DRAM read stream (defaults to fully streaming)."""
         if total_bytes:

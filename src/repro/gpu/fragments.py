@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import warp_events
+
 __all__ = [
     "WARP_SIZE",
     "A_FRAGMENT_ROWS",
@@ -78,18 +80,29 @@ def c_fragment_index(lane: int, reg: int) -> tuple[int, int]:
 def distribute_a(a: np.ndarray) -> np.ndarray:
     """Scatter an 8x4 A tile into per-lane registers (shape ``(32,)``)."""
     a = _check_tile(a, (8, 4), "A")
+    if warp_events.TRACER is not None:
+        warp_events.emit_fragment("A", "read", _LANES,
+                                  A_FRAGMENT_ROWS, A_FRAGMENT_COLS)
     return a[A_FRAGMENT_ROWS, A_FRAGMENT_COLS]
 
 
 def distribute_b(b: np.ndarray) -> np.ndarray:
     """Scatter a 4x8 B tile into per-lane registers (shape ``(32,)``)."""
     b = _check_tile(b, (4, 8), "B")
+    if warp_events.TRACER is not None:
+        warp_events.emit_fragment("B", "read", _LANES,
+                                  B_FRAGMENT_ROWS, B_FRAGMENT_COLS)
     return b[B_FRAGMENT_ROWS, B_FRAGMENT_COLS]
 
 
 def distribute_c(c: np.ndarray) -> np.ndarray:
     """Scatter an 8x8 accumulator into per-lane registers ``(32, 2)``."""
     c = _check_tile(c, (8, 8), "C")
+    if warp_events.TRACER is not None:
+        for reg in (0, 1):
+            warp_events.emit_fragment("C", "read", _LANES,
+                                      C_FRAGMENT_ROWS[:, reg],
+                                      C_FRAGMENT_COLS[:, reg], reg=reg)
     return c[C_FRAGMENT_ROWS, C_FRAGMENT_COLS]
 
 
@@ -98,6 +111,11 @@ def collect_c(regs: np.ndarray) -> np.ndarray:
     regs = np.asarray(regs, dtype=np.float64)
     if regs.shape != (WARP_SIZE, 2):
         raise ValueError(f"expected (32, 2) register file, got {regs.shape}")
+    if warp_events.TRACER is not None:
+        for reg in (0, 1):
+            warp_events.emit_fragment("C", "write", _LANES,
+                                      C_FRAGMENT_ROWS[:, reg],
+                                      C_FRAGMENT_COLS[:, reg], reg=reg)
     c = np.empty((8, 8), dtype=np.float64)
     c[C_FRAGMENT_ROWS, C_FRAGMENT_COLS] = regs
     return c

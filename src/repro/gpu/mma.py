@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import fragments
+from . import fragments, warp_events
 
 __all__ = [
     "mma_m8n8k4",
@@ -79,6 +79,11 @@ def mma_fp64_batched(a: np.ndarray, b: np.ndarray,
     k2, n = b.shape[-2:]
     if k != k2:
         raise ValueError(f"inner dimensions differ: A has k={k}, B has k={k2}")
+    if warp_events.TRACER is not None and (m, k, n) == (8, 4, 8):
+        # sampled sanitization: one representative warp's fragment traffic
+        # per batched call (the racecheck analog of compute-sanitizer's
+        # sampling on bulk kernels)
+        _emit_sampled_m8n8k4()
     batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
     if c is None:
         d = np.zeros(batch + (m, n), dtype=np.float64)
@@ -100,20 +105,43 @@ def warp_gemm_m8n8k4(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
     Exists for fidelity and testing; bulk kernels use the batched paths.
     """
-    a_regs = fragments.distribute_a(a)          # line 6: load A
-    b_regs = fragments.distribute_b(b)          # line 6: load B
-    c_regs = np.zeros((fragments.WARP_SIZE, 2))  # lines 4-5: init c[2]
-    # line 7: the MMA — reassemble operands from the register file, exactly
-    # as the hardware's dot-product network reads across lanes (one scatter
-    # per operand through the precomputed fragment index tables)
-    a_tile = np.empty((8, 4))
-    b_tile = np.empty((4, 8))
-    a_tile[fragments.A_FRAGMENT_ROWS, fragments.A_FRAGMENT_COLS] = a_regs
-    b_tile[fragments.B_FRAGMENT_ROWS, fragments.B_FRAGMENT_COLS] = b_regs
-    d_tile = mma_m8n8k4(a_tile, b_tile)
-    c_regs = fragments.distribute_c(d_tile)
-    # line 8: store C via the fragment map
-    return fragments.collect_c(c_regs)
+    with warp_events.scope("warp_gemm_m8n8k4"):
+        a_regs = fragments.distribute_a(a)          # line 6: load A
+        b_regs = fragments.distribute_b(b)          # line 6: load B
+        c_regs = np.zeros((fragments.WARP_SIZE, 2))  # lines 4-5: init c[2]
+        # line 7: the MMA — reassemble operands from the register file,
+        # exactly as the hardware's dot-product network reads across lanes
+        # (one scatter per operand through the precomputed fragment index
+        # tables); mma.sync is a warp synchronization point
+        warp_events.emit_sync("mma.sync")
+        a_tile = np.empty((8, 4))
+        b_tile = np.empty((4, 8))
+        a_tile[fragments.A_FRAGMENT_ROWS, fragments.A_FRAGMENT_COLS] = a_regs
+        b_tile[fragments.B_FRAGMENT_ROWS, fragments.B_FRAGMENT_COLS] = b_regs
+        d_tile = mma_m8n8k4(a_tile, b_tile)
+        c_regs = fragments.distribute_c(d_tile)
+        # line 8: store C via the fragment map
+        return fragments.collect_c(c_regs)
+
+
+def _emit_sampled_m8n8k4() -> None:
+    """Replay one warp's m8n8k4 fragment traffic through the tracer: A/B
+    loads, the implicit ``mma.sync`` barrier, then the two accumulator
+    register stores — all through the PTX fragment index tables."""
+    lanes = np.arange(fragments.WARP_SIZE)
+    with warp_events.scope("mma_m8n8k4.batched[sample]"):
+        warp_events.emit_fragment("A", "read", lanes,
+                                  fragments.A_FRAGMENT_ROWS,
+                                  fragments.A_FRAGMENT_COLS)
+        warp_events.emit_fragment("B", "read", lanes,
+                                  fragments.B_FRAGMENT_ROWS,
+                                  fragments.B_FRAGMENT_COLS)
+        warp_events.emit_sync("mma.sync")
+        for reg in (0, 1):
+            warp_events.emit_fragment("C", "write", lanes,
+                                      fragments.C_FRAGMENT_ROWS[:, reg],
+                                      fragments.C_FRAGMENT_COLS[:, reg],
+                                      reg=reg)
 
 
 # ----------------------------------------------------------------- bit MMA

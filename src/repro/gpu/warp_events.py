@@ -1,0 +1,98 @@
+"""Instrumentation hook surface for the warp-hazard sanitizer.
+
+:mod:`repro.gpu.fragments` and :mod:`repro.gpu.mma` report per-lane
+fragment and simulated shared-memory traffic through this module whenever a
+tracer is installed.  With no tracer the hooks reduce to one ``is None``
+check, so the hot batched paths keep their PR-1 performance.
+
+The tracer protocol (implemented by
+:class:`repro.check.hazards.WarpSanitizer`) is deliberately tiny:
+
+* ``begin_scope(name)`` / ``end_scope()`` — one simulated kernel/warp
+  program; hazard state is per scope;
+* ``fragment_access(kind, op, lanes, rows, cols, reg)`` — a warp-wide
+  access through an ``m8n8k4`` fragment map (``kind`` in ``A``/``B``/``C``,
+  ``op`` in ``read``/``write``);
+* ``shared_access(op, array, lanes, offsets, width)`` — a warp-wide access
+  to a simulated shared-memory array at per-lane element offsets;
+* ``sync(label)`` — a warp synchronization point (``mma.sync``,
+  ``__syncwarp``); clears the hazard epoch.
+
+``gpu`` must not import ``repro.check`` (the checker imports ``gpu``), so
+this module holds only the hook slot and emit helpers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACER",
+    "active",
+    "install",
+    "uninstall",
+    "scope",
+    "emit_begin",
+    "emit_end",
+    "emit_sync",
+    "emit_fragment",
+    "emit_shared",
+]
+
+#: the installed tracer, or None (the common case)
+TRACER: Any = None
+
+
+def active() -> bool:
+    return TRACER is not None
+
+
+def install(tracer: Any) -> None:
+    global TRACER
+    if TRACER is not None:
+        raise RuntimeError("a warp tracer is already installed")
+    TRACER = tracer
+
+
+def uninstall(tracer: Any) -> None:
+    global TRACER
+    if TRACER is not tracer:
+        raise RuntimeError("attempt to uninstall a tracer that is not "
+                           "installed")
+    TRACER = None
+
+
+@contextmanager
+def scope(name: str) -> Iterator[None]:
+    emit_begin(name)
+    try:
+        yield
+    finally:
+        emit_end()
+
+
+def emit_begin(name: str) -> None:
+    if TRACER is not None:
+        TRACER.begin_scope(name)
+
+
+def emit_end() -> None:
+    if TRACER is not None:
+        TRACER.end_scope()
+
+
+def emit_sync(label: str = "") -> None:
+    if TRACER is not None:
+        TRACER.sync(label)
+
+
+def emit_fragment(kind: str, op: str, lanes, rows, cols,
+                  reg: int | None = None) -> None:
+    if TRACER is not None:
+        TRACER.fragment_access(kind, op, lanes, rows, cols, reg)
+
+
+def emit_shared(op: str, array: str, lanes, offsets, width: int = 32) -> None:
+    if TRACER is not None:
+        TRACER.shared_access(op, array, lanes, offsets, width)

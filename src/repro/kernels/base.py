@@ -226,16 +226,25 @@ class Workload(abc.ABC):
 
     def resolve_variant(self, variant: Variant) -> Variant:
         """Map CCE to CC for Quadrant I workloads (Section 5.2: 'for GEMM,
-        PiC, FFT, and Stencil the CC-E version is equivalent to CC')."""
+        PiC, FFT, and Stencil the CC-E version is equivalent to CC').
+
+        Coerces strings (``"cce"``) to :class:`Variant` so external
+        callers (CLI, suites) cannot bypass the equivalence mapping with a
+        value the identity-based dispatch below would not recognize."""
+        variant = Variant(variant)
         if variant is Variant.CCE and not self.has_cce:
             return Variant.CC
         return variant
 
     def run_case(self, variant: Variant, case: WorkloadCase, device: Device,
                  seed: int = 1325) -> KernelResult:
-        """Convenience: prepare + execute the (down-scaled) case."""
+        """Convenience: prepare + execute the (down-scaled) case.
+
+        Resolves the variant first: a CC-E request on a Quadrant I
+        workload must run the CC path, not fall through ``execute``'s
+        variant dispatch into whatever ``else`` branch exists."""
         data = self.prepare(self.exec_case(case), seed=seed)
-        return self.execute(variant, data, device)
+        return self.execute(self.resolve_variant(variant), data, device)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Workload {self.name} (Quadrant {self.quadrant.value})>"

@@ -157,8 +157,8 @@ class BfsWorkload(Workload):
             st.read_dram(4.0 * inspected, segment_bytes=4)
             st.write_dram(4.0 * inspected, segment_bytes=4)
             st.write_dram(4.0 * len(nxt), segment_bytes=4)
-            st.cc_int_ops += 3.0 * inspected
-            st.l1_bytes += 8.0 * inspected
+            st.add_int_ops(3.0 * inspected)
+            st.add_l1(8.0 * inspected)
             frontier = nxt
         st.serial_stages = stages
         return levels, st
@@ -224,20 +224,21 @@ class BfsWorkload(Workload):
             st.add_mma_b1(tiles, output_useful=8.0 * tiles)
         elif variant is Variant.CC:
             # 8 rows x 2 words x (AND+POPC+merge), replicated 8 columns
-            st.cc_int_ops += 384.0 * tiles
-            st.mma_input_total += tiles * (8 * 128 + 128 * 8)
-            st.mma_input_useful += tiles * (8 * 128 + 128 * 8)
-            st.mma_output_total += tiles * 64
-            st.mma_output_useful += tiles * 8
+            st.add_int_ops(384.0 * tiles)
+            st.note_mma_utilization(
+                input_useful=tiles * (8 * 128 + 128 * 8),
+                input_total=tiles * (8 * 128 + 128 * 8),
+                output_useful=tiles * 8,
+                output_total=tiles * 64)
         else:  # CC-E: essential row AND+POPC only (no column replication)
-            st.cc_int_ops += 48.0 * tiles
+            st.add_int_ops(48.0 * tiles)
         # tile payloads (128 B); slice/cblock metadata stays L2 resident
         # after the first sweep
         st.read_dram(128.0 * tiles, segment_bytes=128)
         # frontier words for the active blocks + visited bit updates
         st.read_dram(16.0 * tiles, segment_bytes=16)
         st.write_dram(max(fresh / 8.0, 1.0), segment_bytes=8)
-        st.l1_bytes += 160.0 * tiles
+        st.add_l1(160.0 * tiles)
 
     # ------------------------------------------------------------------
     def analytic_stats(self, variant: Variant,

@@ -193,7 +193,7 @@ class FftWorkload(Workload):
             # single fused pass (smem-resident Stockham stages)
             st.read_dram(io_bytes, segment_bytes=16 * n)
             st.write_dram(io_bytes, segment_bytes=16 * n)
-            st.l1_bytes = io_bytes * math.log2(n)
+            st.add_l1(io_bytes * math.log2(n))
         else:
             # four real m8n8k4 products per 4-point DFT of 4 samples
             stages = math.log(n, 4)
@@ -208,5 +208,5 @@ class FftWorkload(Workload):
             # extra pass: transform to/from the 8x4 block layout
             st.read_dram(2.0 * io_bytes, segment_bytes=16 * 8)
             st.write_dram(2.0 * io_bytes, segment_bytes=16 * 8)
-            st.l1_bytes = io_bytes * math.log2(n)
+            st.add_l1(io_bytes * math.log2(n))
         return st

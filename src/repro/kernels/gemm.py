@@ -141,5 +141,5 @@ class GemmWorkload(Workload):
         st.write_dram(c_bytes, segment_bytes=8 * min(n, TILE))
         # every DRAM byte passes the L1/shared level once; register blocking
         # absorbs intra-tile reuse
-        st.l1_bytes = a_bytes + b_bytes + c_bytes
+        st.add_l1(a_bytes + b_bytes + c_bytes)
         return st

@@ -20,6 +20,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
+from ..gpu.mma import mma_m8n8k4_batched
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -79,17 +80,35 @@ class GemvWorkload(Workload):
         a, x = data["a"], data["x"]
         m, n = data["m"], data["n"]
         if variant in (Variant.TC, Variant.CC):
-            # diagonal of (A_tile @ X_tile): per row, the x chunks are
-            # consumed in k order — exactly the MMA chain's rounding
-            y = np.zeros(m)
-            for k in range(n):
-                y = y + a[:, k] * x[k]
+            y = self._mma_gemv(a, x)
         elif variant is Variant.CCE:
             y = self._lane_tree_dot(a, x, lanes=4)
         else:  # baseline cuBLAS: two-lane partials then combine
             y = self._lane_tree_dot(a, x, lanes=2)
         stats = self._stats(variant, m, n)
         return device.resolve(stats, output=y)
+
+    @staticmethod
+    def _mma_gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """TC/CC path: A in 8x4 blocks, x broadcast into every column of
+        the B operand, one chained ``mma_m8n8k4`` per k tile; the
+        accumulator diagonal carries y (full input, partial output).
+        Chaining C across tiles keeps the per-row sum strictly
+        left-to-right in k, so the result is bit-identical to the serial
+        reference (padding contributes exact ``+0.0`` terms)."""
+        m, n = a.shape
+        rows, ktiles = ceil_div(m, 8) * 8, ceil_div(n, 4)
+        a_pad = np.zeros((rows, ktiles * 4))
+        a_pad[:m, :n] = a
+        x_pad = np.zeros(ktiles * 4)
+        x_pad[:n] = x
+        tiles = a_pad.reshape(rows // 8, 8, ktiles, 4).transpose(0, 2, 1, 3)
+        acc = None
+        for t in range(ktiles):
+            b_tile = np.broadcast_to(x_pad[4 * t:4 * t + 4, None], (4, 8))
+            acc = mma_m8n8k4_batched(tiles[:, t], b_tile, acc)
+        diag = np.arange(8)
+        return acc[:, diag, diag].reshape(rows)[:m].copy()
 
     @staticmethod
     def _lane_tree_dot(a: np.ndarray, x: np.ndarray, lanes: int
@@ -138,5 +157,5 @@ class GemvWorkload(Workload):
         st.read_dram(a_bytes, segment_bytes=8 * n)   # row-major streaming
         st.read_dram(8.0 * n, segment_bytes=8 * n)   # x (tiny, cached)
         st.write_dram(8.0 * m, segment_bytes=1 << 12)
-        st.l1_bytes = a_bytes + 8.0 * (m + n)
+        st.add_l1(a_bytes + 8.0 * (m + n))
         return st

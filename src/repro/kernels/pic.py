@@ -186,5 +186,5 @@ class PicWorkload(Workload):
         st.read_dram(BYTES_PER_PARTICLE / 2 * n, segment_bytes=1 << 12)
         st.write_dram(BYTES_PER_PARTICLE / 2 * n, segment_bytes=1 << 12)
         # field gathers come from the cache-resident grid
-        st.l1_bytes = (BYTES_PER_PARTICLE + 48.0) * n
+        st.add_l1((BYTES_PER_PARTICLE + 48.0) * n)
         return st

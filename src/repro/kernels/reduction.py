@@ -193,8 +193,8 @@ class ReductionWorkload(Workload):
             st.serial_stages = max(int(np.log2(seg)), 1)
         st.read_dram(8.0 * n, segment_bytes=1 << 16)
         st.write_dram(8.0 * nseg, segment_bytes=1 << 12)
-        st.l1_bytes = 8.0 * (n + nseg)
+        st.add_l1(8.0 * (n + nseg))
         if variant is Variant.BASELINE:
             # inter-warp partials bounce through shared memory per stage
-            st.l1_bytes += 16.0 * n
+            st.add_l1(16.0 * n)
         return st

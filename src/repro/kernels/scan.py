@@ -200,10 +200,10 @@ class ScanWorkload(Workload):
             st.serial_stages = max(2 * int(np.log2(seg)), 1)
         st.read_dram(8.0 * n, segment_bytes=1 << 16)
         st.write_dram(8.0 * n, segment_bytes=1 << 16)
-        st.l1_bytes = 16.0 * n
+        st.add_l1(16.0 * n)
         if variant is Variant.BASELINE:
-            st.l1_bytes += 24.0 * n    # up+down sweeps through shared memory
+            st.add_l1(24.0 * n)    # up+down sweeps through shared memory
         elif variant is Variant.CCE:
             # every Hillis-Steele pass re-touches the block in shared memory
-            st.l1_bytes += 8.0 * n * np.log2(max(seg, 2))
+            st.add_l1(8.0 * n * np.log2(max(seg, 2)))
         return st

@@ -241,5 +241,5 @@ class SpgemmWorkload(Workload):
             st.read_dram(block_bytes * block_products * TC_REUSE,
                          segment_bytes=128)
         st.write_dram(c_bytes_est, segment_bytes=1 << 10)
-        st.l1_bytes = 16.0 * scalar_products
+        st.add_l1(16.0 * scalar_products)
         return st

@@ -193,5 +193,5 @@ class SpmvWorkload(Workload):
             st.read_dram(12.0 * slots, segment_bytes=1 << 12)
             st.read_dram(8.0 * slots, segment_bytes=tile_seg)
         st.write_dram(y_bytes, segment_bytes=1 << 12)
-        st.l1_bytes = 20.0 * a.nnz + y_bytes
+        st.add_l1(20.0 * a.nnz + y_bytes)
         return st

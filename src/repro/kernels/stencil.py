@@ -194,5 +194,5 @@ class StencilWorkload(Workload):
             # components come from constant memory (no DRAM traffic)
             st.read_dram(8.0 * points, segment_bytes=8 * ny)
         st.write_dram(8.0 * points, segment_bytes=8 * ny)
-        st.l1_bytes = 8.0 * points * (neighbors + 1)
+        st.add_l1(8.0 * points * (neighbors + 1))
         return st

@@ -38,13 +38,14 @@ def _k(flops: float, read_b: float, write_b: float, seg: float,
     st = KernelStats()
     if flops:
         st.add_fma(flops)
-    st.cc_int_ops = int_ops
+    if int_ops:
+        st.add_int_ops(int_ops)
     st.cc_efficiency = cc_eff
     st.mlp = mlp
     st.serial_stages = stages
     st.read_dram(read_b, segment_bytes=seg)
     st.write_dram(write_b, segment_bytes=seg)
-    st.l1_bytes = (read_b + write_b) * l1_factor
+    st.add_l1((read_b + write_b) * l1_factor)
     return st
 
 

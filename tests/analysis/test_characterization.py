@@ -29,7 +29,6 @@ from repro.kernels import (
     Quadrant,
     ReductionWorkload,
     ScanWorkload,
-    Variant,
     all_workloads,
     get_workload,
 )

@@ -1,8 +1,6 @@
 """Tests for the observation-verification framework (fast subset; the
 full nine-observation audit runs in benchmarks/bench_observations.py)."""
 
-import pytest
-
 from repro.analysis.observations import (
     OBSERVATIONS,
     ObservationResult,

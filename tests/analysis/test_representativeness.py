@@ -1,6 +1,5 @@
 """Tests for the Section 5.1 case-regime classification."""
 
-import pytest
 
 from repro.analysis.representativeness import (
     Regime,

@@ -1,0 +1,245 @@
+"""Fixtures for the Workload contract and MMA call-graph rules."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.check.contracts import contract_findings, contracts_tree
+
+
+def _findings(src: str, relpath: str = "kernels/example.py"):
+    tree = ast.parse(textwrap.dedent(src), filename=relpath)
+    return contract_findings(tree, relpath)
+
+
+_HEAD = """
+from ..gpu.mma import mma_b1_batched, mma_fp64_batched, mma_m8n8k4_batched
+from .base import Variant, Workload
+"""
+
+_CONTRACT = """
+    def cases(self):
+        return []
+    def prepare(self, case, seed=1325):
+        return {}
+    def reference(self, data):
+        return None
+    def analytic_stats(self, variant, case):
+        return None
+"""
+
+_ATTRS = """
+    name = "example"
+    quadrant = "I"
+    dwarf = "Dense"
+    baseline_name = "ref"
+"""
+
+
+# --------------------------------------------------------------------- R004
+
+def test_missing_methods_and_attrs_flagged():
+    findings = _findings(_HEAD + """
+class HalfWorkload(Workload):
+    name = "half"
+    def execute(self, variant, data, device):
+        return mma_fp64_batched(data["a"], data["b"])
+""")
+    r004 = [f for f in findings if f.rule == "R004"]
+    assert len(r004) == 1
+    msg = r004[0].message
+    for missing in ("cases", "prepare", "reference", "analytic_stats",
+                    "quadrant", "dwarf", "baseline_name"):
+        assert missing in msg
+
+
+def test_complete_contract_passes():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        return mma_fp64_batched(data["a"], data["b"])
+""")
+    assert not findings
+
+
+def test_non_workload_class_ignored():
+    assert not _findings(_HEAD + """
+class Helper:
+    pass
+""")
+
+
+# --------------------------------------------------------------------- R005
+
+def test_variant_branches_reaching_same_primitive_pass():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        if variant in (Variant.TC, Variant.CC):
+            return mma_m8n8k4_batched(data["a"], data["b"])
+        return data["a"] @ data["b"]
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_plain_loop_path_flagged_for_both_variants():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        if variant in (Variant.TC, Variant.CC):
+            y = data["a"] @ data["b"]
+        else:
+            y = data["a"] + data["b"]
+        return y
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 2
+    assert any("TC execute path" in f.message for f in r005)
+    assert any("CC execute path" in f.message for f in r005)
+
+
+def test_one_variant_off_primitive_flagged():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        if variant is Variant.TC:
+            return mma_m8n8k4_batched(data["a"], data["b"])
+        return data["a"] @ data["b"]
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 1
+    assert "CC execute path" in r005[0].message
+
+
+def test_reach_through_helper_method_with_variant_dispatch():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        return self._sweep(variant, data)
+
+    def _sweep(self, variant, data):
+        if variant is Variant.BASELINE:
+            return data["a"] + data["b"]
+        return mma_fp64_batched(data["a"], data["b"])
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_reach_through_module_function():
+    findings = _findings(_HEAD + """
+def _tile_mma(a, b):
+    return mma_fp64_batched(a, b)
+
+class ExampleWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        return _tile_mma(data["a"], data["b"])
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_disjoint_tc_cc_primitives_flagged():
+    findings = _findings(_HEAD + """
+class SplitWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        if variant is Variant.TC:
+            return mma_fp64_batched(data["a"], data["b"])
+        if variant is Variant.CC:
+            return mma_b1_batched(data["a"], data["b"])
+        return None
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 1
+    assert "disjoint" in r005[0].message
+
+
+def test_locally_defined_primitive_name_is_not_trusted():
+    findings = _findings("""
+from .base import Variant, Workload
+
+def mma_fp64_batched(a, b):
+    return a @ b
+
+class ShadowWorkload(Workload):
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        return mma_fp64_batched(data["a"], data["b"])
+""")
+    assert len([f for f in findings if f.rule == "R005"]) == 2
+
+
+# --------------------------------------------------------------------- R006
+
+_QUAD_I_HEAD = _HEAD + """
+class QuadIWorkload(Workload):
+    name = "quadi"
+    quadrant = "I"
+    dwarf = "Dense"
+    baseline_name = "ref"
+    has_cce = False
+    def cases(self):
+        return []
+    def prepare(self, case, seed=1325):
+        return {}
+    def reference(self, data):
+        return None
+"""
+
+
+def test_quadrant_i_without_resolve_variant_flagged():
+    findings = _findings(_QUAD_I_HEAD + """
+    def execute(self, variant, data, device):
+        return mma_fp64_batched(data["a"], data["b"])
+    def analytic_stats(self, variant, case):
+        return None
+""")
+    r006 = [f for f in findings if f.rule == "R006"]
+    assert {f.symbol for f in r006} == {"QuadIWorkload.execute",
+                                        "QuadIWorkload.analytic_stats"}
+
+
+def test_quadrant_i_with_resolve_variant_passes():
+    findings = _findings(_QUAD_I_HEAD + """
+    def execute(self, variant, data, device):
+        variant = self.resolve_variant(variant)
+        return mma_fp64_batched(data["a"], data["b"])
+    def analytic_stats(self, variant, case):
+        variant = self.resolve_variant(variant)
+        return None
+""")
+    assert not [f for f in findings if f.rule == "R006"]
+
+
+def test_has_cce_true_workloads_are_exempt():
+    findings = _findings(_HEAD + """
+class ExampleWorkload(Workload):
+    has_cce = True
+""" + _ATTRS + _CONTRACT + """
+    def execute(self, variant, data, device):
+        return mma_fp64_batched(data["a"], data["b"])
+""")
+    assert not [f for f in findings if f.rule == "R006"]
+
+
+# ---------------------------------------------------------------- dogfood
+
+def test_repo_contracts_have_only_the_baselined_stencil_finding():
+    from repro.check.runner import package_root
+    findings = contracts_tree(package_root())
+    assert {f.fingerprint for f in findings} == {
+        ("R005", "kernels/stencil.py", "StencilWorkload")}
+
+
+def test_contracts_tree_on_tree_without_kernels(tmp_path):
+    assert contracts_tree(tmp_path) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

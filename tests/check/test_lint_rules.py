@@ -1,0 +1,212 @@
+"""Per-rule positive/negative fixtures for the static lint layer."""
+
+import textwrap
+
+import pytest
+
+from repro.check.lint import lint_source, lint_tree
+
+
+def _lint(src: str, relpath: str = "kernels/example.py"):
+    return lint_source(textwrap.dedent(src), relpath)
+
+
+def _rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------- R001/R002
+
+class TestNoUnseededRng:
+    def test_flags_global_numpy_rng(self):
+        findings = _lint("""
+            import numpy as np
+            def noise(n):
+                return np.random.rand(n)
+        """)
+        assert _rules(findings) == ["R001"]
+        assert findings[0].symbol == "numpy.random.rand"
+        assert findings[0].line == 4
+
+    def test_flags_unseeded_default_rng(self):
+        findings = _lint("""
+            from numpy.random import default_rng
+            def noise(n):
+                return default_rng().random(n)
+        """)
+        assert _rules(findings) == ["R001"]
+
+    def test_allows_seeded_default_rng(self):
+        assert not _lint("""
+            import numpy as np
+            def noise(n, seed):
+                return np.random.default_rng(seed).random(n)
+        """)
+
+    def test_flags_stdlib_random_module(self):
+        findings = _lint("""
+            import random
+            def pick(xs):
+                return random.choice(xs)
+        """)
+        assert _rules(findings) == ["R001"]
+
+    def test_out_of_scope_package_is_exempt(self):
+        findings = _lint("""
+            import numpy as np
+            def noise(n):
+                return np.random.rand(n)
+        """, relpath="perf/instrument.py")
+        assert not findings
+
+    def test_local_name_collision_does_not_confuse_resolver(self):
+        # the repo's own ``default_rng``-free LCG helpers must not trip R001
+        assert not _lint("""
+            from ..datasets.synthetic import Lcg
+            def noise(n):
+                return Lcg(1325).uniform(n)
+        """)
+
+
+class TestNoWallClock:
+    def test_flags_perf_counter(self):
+        findings = _lint("""
+            import time
+            def stamp():
+                return time.perf_counter()
+        """)
+        assert _rules(findings) == ["R002"]
+
+    def test_flags_datetime_now(self):
+        findings = _lint("""
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """)
+        assert _rules(findings) == ["R002"]
+
+    def test_measurement_package_may_read_timers(self):
+        assert not _lint("""
+            import time
+            def stamp():
+                return time.perf_counter()
+        """, relpath="perf/instrument.py")
+
+
+# --------------------------------------------------------------------- R003
+
+class TestFp64Purity:
+    def test_flags_float32_attr(self):
+        findings = _lint("""
+            import numpy as np
+            def downcast(a):
+                return a.astype(np.float32)
+        """)
+        assert _rules(findings) == ["R003"]
+
+    def test_flags_dtype_string(self):
+        findings = _lint("""
+            import numpy as np
+            def downcast(a):
+                return a.astype("float16")
+        """)
+        assert _rules(findings) == ["R003"]
+
+    def test_mma_mixed_is_allowlisted(self):
+        findings = _lint("""
+            import numpy as np
+            def quantize(a):
+                return a.astype(np.float16)
+        """, relpath="gpu/mma_mixed.py")
+        assert not findings
+
+    def test_float64_is_fine(self):
+        assert not _lint("""
+            import numpy as np
+            def keep(a):
+                return np.asarray(a, dtype=np.float64)
+        """)
+
+    def test_docstring_mentioning_float32_is_fine(self):
+        assert not _lint('''
+            def f():
+                """Not float32: stays FP64 (unlike float16 hardware)."""
+                return 1.0
+        ''')
+
+
+# --------------------------------------------------------------------- R007
+
+class TestKernelStatsApi:
+    def test_flags_direct_counter_assignment(self):
+        findings = _lint("""
+            def stats(st, n):
+                st.l1_bytes = 8.0 * n
+        """)
+        assert _rules(findings) == ["R007"]
+
+    def test_flags_augmented_counter_assignment(self):
+        findings = _lint("""
+            def stats(st, n):
+                st.cc_int_ops += 3.0 * n
+        """)
+        assert _rules(findings) == ["R007"]
+
+    def test_flags_dram_list_mutation(self):
+        findings = _lint("""
+            def stats(st, stream):
+                st.dram.append(stream)
+        """)
+        assert _rules(findings) == ["R007"]
+
+    def test_counter_api_is_fine(self):
+        assert not _lint("""
+            def stats(st, n):
+                st.add_l1(8.0 * n)
+                st.add_int_ops(3.0 * n)
+                st.read_dram(8.0 * n)
+        """)
+
+    def test_knob_assignment_is_fine(self):
+        assert not _lint("""
+            def stats(st):
+                st.mlp = 0.62
+                st.serial_stages = 4
+                st.essential_flops = 100.0
+        """)
+
+    def test_gpu_package_owns_the_counters(self):
+        assert not _lint("""
+            def add_l1(self, total_bytes):
+                self.l1_bytes += total_bytes
+        """, relpath="gpu/counters.py")
+
+
+# --------------------------------------------------------------------- R000
+
+def test_syntax_error_reports_r000():
+    findings = _lint("def broken(:\n    pass\n")
+    assert _rules(findings) == ["R000"]
+
+
+# ---------------------------------------------------------------- tree walk
+
+def test_lint_tree_scopes_by_relative_path(tmp_path):
+    (tmp_path / "kernels").mkdir()
+    (tmp_path / "perf").mkdir()
+    bad = "import numpy as np\n\ndef f(n):\n    return np.random.rand(n)\n"
+    (tmp_path / "kernels" / "k.py").write_text(bad)
+    (tmp_path / "perf" / "p.py").write_text(bad)
+    findings = lint_tree(tmp_path)
+    assert [f.path for f in findings] == ["kernels/k.py"]
+
+
+def test_repo_lint_is_clean():
+    """Dogfood: the shipped package has no active lint findings."""
+    from repro.check.runner import package_root
+    findings = lint_tree(package_root())
+    assert findings == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

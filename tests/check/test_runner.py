@@ -1,0 +1,158 @@
+"""Baseline mechanics, the check runner, and the ``repro check`` CLI."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    Baseline,
+    Finding,
+    Suppression,
+    apply_baseline,
+    default_baseline_path,
+    run_check,
+)
+from repro.check.dynamic import run_dynamic
+from repro.cli import main
+from repro.kernels import workload_names
+
+
+def _finding(rule="R005", path="kernels/x.py", symbol="XWorkload",
+             line=10):
+    return Finding(rule=rule, severity="error", path=path, symbol=symbol,
+                   message="msg", line=line)
+
+
+# ----------------------------------------------------------------- baseline
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "baseline.json"
+        Baseline([Suppression("R005", "kernels/x.py", "XWorkload",
+                              "known deviation")]).save(p)
+        loaded = Baseline.load(p)
+        assert loaded.suppressions == [
+            Suppression("R005", "kernels/x.py", "XWorkload",
+                        "known deviation")]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").suppressions == []
+
+    def test_missing_justification_rejected(self, tmp_path):
+        p = tmp_path / "baseline.json"
+        p.write_text(json.dumps({"suppressions": [
+            {"rule": "R005", "path": "kernels/x.py", "symbol": "X"}]}))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(p)
+
+    def test_fingerprint_ignores_line_numbers(self):
+        base = Baseline([Suppression("R005", "kernels/x.py", "XWorkload",
+                                     "ok")])
+        active, suppressed, unused = apply_baseline(
+            [_finding(line=10), _finding(line=99)], base)
+        assert active == [] and len(suppressed) == 2 and unused == []
+
+    def test_unmatched_finding_stays_active(self):
+        base = Baseline([Suppression("R005", "kernels/x.py", "XWorkload",
+                                     "ok")])
+        other = _finding(path="kernels/y.py", symbol="YWorkload")
+        active, suppressed, unused = apply_baseline([other], base)
+        assert active == [other] and suppressed == []
+        assert len(unused) == 1  # the x.py entry is stale for this run
+
+    def test_from_findings_dedupes_fingerprints(self):
+        base = Baseline.from_findings([_finding(line=1), _finding(line=2)],
+                                      justification="j")
+        assert len(base.suppressions) == 1
+
+    def test_checked_in_baseline_is_valid_and_justified(self):
+        base = Baseline.load(default_baseline_path())
+        assert base.suppressions, "expected the stencil R005 entry"
+        for s in base.suppressions:
+            assert len(s.justification) > 20
+
+
+# ------------------------------------------------------------------- runner
+
+class TestRunCheck:
+    def test_repo_is_clean_under_the_checked_in_baseline(self):
+        report = run_check()
+        assert report.ok, report.to_text()
+        assert report.active == []
+        assert report.unused_suppressions == []
+        assert report.sanitized_accesses > 0
+
+    def test_seeded_violation_fails_the_check(self, tmp_path):
+        (tmp_path / "kernels").mkdir()
+        (tmp_path / "kernels" / "bad.py").write_text(
+            "import numpy as np\n\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)\n")
+        report = run_check(root=tmp_path, baseline=Baseline(),
+                           dynamic=False)
+        assert not report.ok
+        assert [f.rule for f in report.active] == ["R001"]
+
+    def test_json_and_text_rendering(self):
+        report = run_check(dynamic=False)
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["active"] == []
+        assert any(s["rule"] == "R005"
+                   for s in payload["suppressed"])
+        text = report.to_text()
+        assert "OK: 0 error(s)" in text and "[baselined]" in text
+
+    def test_stale_suppression_reported_not_fatal(self, tmp_path):
+        (tmp_path / "kernels").mkdir()
+        (tmp_path / "kernels" / "ok.py").write_text("X = 1\n")
+        base = Baseline([Suppression("R001", "kernels/gone.py", "f",
+                                     "obsolete")])
+        report = run_check(root=tmp_path, baseline=base, dynamic=False)
+        assert report.ok
+        assert len(report.unused_suppressions) == 1
+        assert "stale" in report.to_text()
+
+
+# ------------------------------------------------- workload regression
+
+def test_all_workloads_all_variants_hazard_free():
+    """Table 6 regression: every workload's smallest-case execution, in
+    every variant it supports, passes the warp sanitizer clean."""
+    assert len(workload_names()) == 10
+    san = run_dynamic()
+    assert san.findings() == [], [f.format() for f in san.findings()]
+    assert san.accesses > 0
+
+
+# ---------------------------------------------------------------------- CLI
+
+class TestCli:
+    def test_check_ok_exit_zero(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 0 error(s)" in out
+
+    def test_check_json_format(self, capsys):
+        assert main(["check", "--format", "json", "--no-dynamic"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_check_fails_without_baseline(self, tmp_path, capsys):
+        # an empty baseline exposes the stencil R005 finding -> exit 1
+        empty = tmp_path / "empty.json"
+        Baseline().save(empty)
+        assert main(["check", "--no-dynamic",
+                     "--baseline", str(empty)]) == 1
+        assert "R005" in capsys.readouterr().out
+
+    def test_write_baseline(self, tmp_path, capsys):
+        out = tmp_path / "new_baseline.json"
+        assert main(["check", "--no-dynamic", "--write-baseline",
+                     "--baseline", str(out)]) == 0
+        base = json.loads(out.read_text())
+        assert [s["rule"] for s in base["suppressions"]] == ["R005"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -4,7 +4,6 @@ import pytest
 
 from repro.gpu.isa import (
     MMA_SHAPES,
-    MmaShape,
     Precision,
     find_shape,
     instruction_name,

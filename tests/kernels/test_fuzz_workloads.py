@@ -2,7 +2,6 @@
 serial reference at arbitrary (small) sizes and seeds."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.gpu import Device
-from repro.kernels import Variant, all_workloads, get_workload
+from repro.kernels import Variant, all_workloads
 
 DEVICES = {name: Device(name) for name in ("A100", "H200", "B200")}
 

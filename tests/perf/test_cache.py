@@ -68,7 +68,11 @@ class TestResultCacheTiers:
     def test_hit_miss_accounting(self, tmp_path):
         cache = ResultCache(tmp_path)
         calls = []
-        compute = lambda: calls.append(1) or np.arange(4.0)
+
+        def compute():
+            calls.append(1)
+            return np.arange(4.0)
+
         key = content_key("x", 1)
         cache.get_or_compute("t", key, compute)
         assert (cache.stats.misses, cache.stats.hits) == (1, 0)

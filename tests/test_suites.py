@@ -1,7 +1,6 @@
 """Tests for the benchmark-suite comparison substrate (Figure 11)."""
 
 import numpy as np
-import pytest
 
 from repro.gpu import Device, KernelStats
 from repro.kernels import GemmWorkload, GemvWorkload, ScanWorkload
