@@ -4,11 +4,12 @@
   the full contract (``cases``/``prepare``/``reference``/``execute``/
   ``analytic_stats``) and declares its identity class attributes.
 * ``R005`` mma-callgraph — the TC *and* CC execute paths of every workload
-  must reach one of the shared MMA primitives in ``gpu/mma.py``, and must
-  share at least one such primitive.  This is the structural backing of the
-  Table 6 TC≡CC bit-identity claim (DESIGN.md §6.1): identical outputs hold
-  *by construction* only if both variants route through the same
-  k-sequential accumulation code.
+  must reach one of the shared MMA primitives in ``gpu/mma.py`` or the
+  launch-plan entry points in ``gpu/launch.py`` (which fuse chains into the
+  same primitives), and must share at least one such callee.  This is the
+  structural backing of the Table 6 TC≡CC bit-identity claim (DESIGN.md
+  §6.1): identical outputs hold *by construction* only if both variants
+  route through the same k-sequential accumulation code.
 * ``R006`` resolve-variant — Quadrant I workloads (``has_cce = False``)
   must call ``self.resolve_variant`` in ``execute`` and ``analytic_stats``;
   otherwise a CC-E request silently falls through the variant dispatch into
@@ -31,12 +32,20 @@ from pathlib import Path
 from .findings import Finding
 from .lint import _ImportResolver, _resolve_dotted
 
-__all__ = ["contract_findings", "contracts_tree", "MMA_PRIMITIVES"]
+__all__ = ["contract_findings", "contracts_tree", "MMA_PRIMITIVES",
+           "LAUNCH_PRIMITIVES"]
 
 #: the shared functional primitives of gpu/mma.py
 MMA_PRIMITIVES = frozenset({
     "mma_m8n8k4", "mma_m8n8k4_batched", "mma_fp64_batched",
     "warp_gemm_m8n8k4", "mma_m8n8k128_b1", "mma_b1_batched",
+})
+
+#: launch-plan entry points of gpu/launch.py — every executed op funnels
+#: into the MMA_PRIMITIVES above, so reaching the engine preserves the
+#: shared-accumulation-order property R005 certifies
+LAUNCH_PRIMITIVES = frozenset({
+    "execute_plan", "run_chain", "run_ragged",
 })
 
 REQUIRED_METHODS = ("cases", "prepare", "reference", "execute",
@@ -103,12 +112,15 @@ class _ModuleIndex:
                 if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
 
     def is_primitive(self, call: ast.Call) -> str | None:
-        """Name of the gpu.mma primitive a call resolves to, if any."""
+        """Name of the gpu.mma primitive or gpu.launch entry point a call
+        resolves to, if any."""
         full = _resolve_dotted(call.func, self.names)
         if full is None:
             return None
         leaf = full.rsplit(".", 1)[-1]
         if leaf in MMA_PRIMITIVES and "gpu.mma" in full:
+            return leaf
+        if leaf in LAUNCH_PRIMITIVES and "gpu.launch" in full:
             return leaf
         return None
 
@@ -272,7 +284,8 @@ def contract_findings(tree: ast.Module, relpath: str) -> list[Finding]:
                         rule="R005", severity="error", path=relpath,
                         symbol=cls.name, line=execute.lineno,
                         message=f"{v.upper()} execute path never reaches a "
-                                "shared gpu.mma primitive; the Table 6 "
+                                "shared gpu.mma/gpu.launch primitive; the "
+                                "Table 6 "
                                 "TC≡CC bit-identity cannot hold by "
                                 "construction (DESIGN.md §6.1)"))
             if reach["tc"] and reach["cc"] \

@@ -7,9 +7,11 @@ Runs the instrumented warp-level paths under a :class:`WarpSanitizer`:
 3. every execute path (all variants) of each selected workload at its
    smallest (down-scaled) case.  Batched ``m8n8k4``-shaped MMA calls replay one
    representative warp's fragment traffic per call (sampled sanitization),
-   so the DASP SpMV and constant-operand Reduction chains are audited
-   without per-tile cost; generalized-shape calls (fused-k GEMM tiles) are
-   exercised through battery 1's exact path instead.
+   and the launch-plan engine (``gpu/launch.py``) replays the same sampled
+   warp once per fused fp64 sweep — so kernels that record their chains
+   into plans (GEMV, SpMV, Reduction, SpGEMM, ...) are audited at the same
+   sampling rate as the per-tile code they replaced, and battery 1 still
+   exercises the exact unsampled path.
 
 Everything is deterministic: data comes from the LCG, and the battery runs
 on the simulated H200 (any device would do — hazards are device-blind).

@@ -17,7 +17,10 @@ Mirrors the artifact's shell scripts:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 
 from .analysis.accuracy import accuracy_table
 from .analysis.quadrants import classify
@@ -188,13 +191,27 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .perf.bench import run_bench, write_bench_json
-    results = run_bench(args.bench or None, cache_dir=args.cache_dir)
+    from .perf.bench import check_regression, run_bench, write_bench_json
+    results = run_bench(args.bench or None, cache_dir=args.cache_dir,
+                        profile=args.profile)
     for name, r in sorted(results.items()):
         print(f"{name}: cold {r['cold_s']:.1f}s, warm {r['warm_s']:.1f}s "
               f"({r['warm_speedup']}x)")
+        groups = r.get("profile", {}).get("groups")
+        if groups:
+            print("  cold profile: "
+                  + ", ".join(f"{k} {v:.1f}s" for k, v in groups.items()))
     out = write_bench_json(args.out, results)
     print(f"wrote {out}")
+    if args.check:
+        issues = check_regression(results, args.baseline,
+                                  tolerance=args.tolerance)
+        if issues:
+            for msg in issues:
+                print(f"PERF REGRESSION: {msg}")
+            return 1
+        print(f"perf gate: ok (within {args.tolerance:.0%} of "
+              f"{args.baseline})")
     return 0
 
 
@@ -262,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="cache root to benchmark against "
                         "(default: a fresh temporary directory)")
+    p.add_argument("--profile", action="store_true",
+                   help="attach the cold run's per-stage wall-clock "
+                        "(plan-build / sweep-execute / model-resolve) to "
+                        "each bench result")
+    p.add_argument("--check", action="store_true",
+                   help="compare cold times against a checked-in baseline "
+                        "and fail on regression")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed fractional cold-time regression for "
+                        "--check (default: 0.25)")
+    p.add_argument("--baseline", default="BENCH_perf.json",
+                   help="baseline JSON for --check "
+                        "(default: BENCH_perf.json)")
     p.set_defaults(fn=cmd_bench)
 
     for name, fn, desc in (
@@ -300,6 +330,14 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "timings", False):
         print()
         print(format_stage_timings(stage_timings()))
+    # machine-readable stage dump for the bench profiler (subprocess runs
+    # cannot share the in-process registry)
+    stage_json = os.environ.get("REPRO_STAGE_JSON")
+    if stage_json:
+        payload = {t.name: {"seconds": t.seconds, "calls": t.calls}
+                   for t in stage_timings()}
+        Path(stage_json).write_text(json.dumps(payload, indent=2) + "\n",
+                                    encoding="utf-8")
     return rc
 
 

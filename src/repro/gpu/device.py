@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..perf.instrument import stage
 from .counters import KernelStats
 from .memory import MemoryModel, MemoryTraffic
 from .power import PowerModel, PowerTrace
@@ -82,19 +83,20 @@ class Device:
     def resolve(self, stats: KernelStats,
                 output: Any = None) -> KernelResult:
         """Resolve counters into time/power/energy for this device."""
-        breakdown = self.timing.breakdown(stats)
-        time_s = breakdown.total_s
-        power_w = self.power.steady_power(stats)
-        return KernelResult(
-            output=output,
-            stats=stats,
-            time_s=time_s,
-            breakdown=breakdown,
-            traffic=self.memory.resolve(stats),
-            power_w=power_w,
-            energy_j=power_w * time_s,
-            flops=self.timing.throughput(stats),
-        )
+        with stage("model-resolve"):
+            breakdown = self.timing.breakdown(stats)
+            time_s = breakdown.total_s
+            power_w = self.power.steady_power(stats)
+            return KernelResult(
+                output=output,
+                stats=stats,
+                time_s=time_s,
+                breakdown=breakdown,
+                traffic=self.memory.resolve(stats),
+                power_w=power_w,
+                energy_j=power_w * time_s,
+                flops=self.timing.throughput(stats),
+            )
 
     def power_trace(self, stats: KernelStats, repeats: int = 1,
                     **kwargs: Any) -> PowerTrace:

@@ -92,9 +92,16 @@ def mma_fp64_batched(a: np.ndarray, b: np.ndarray,
         if c.shape[-2:] != (m, n):
             raise ValueError(f"C fragments must be (..., {m}, {n}), got {c.shape}")
         d = np.broadcast_to(c, batch + (m, n)).copy()
-    # sequential rank-1 updates along k fixes the accumulation order
-    for kk in range(k):
-        d += a[..., :, kk:kk + 1] * b[..., kk:kk + 1, :]
+    # sequential rank-1 updates along k fixes the accumulation order; the
+    # product lands in one preallocated scratch (multiply-into + in-place
+    # add) so the k loop allocates no per-step temporaries — bit-identical
+    # to `d += a_k * b_k`, which rounds the product before the add too
+    if k:
+        scratch = np.empty_like(d)
+        for kk in range(k):
+            np.multiply(a[..., :, kk:kk + 1], b[..., kk:kk + 1, :],
+                        out=scratch)
+            d += scratch
     return d
 
 
@@ -165,8 +172,9 @@ _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
 _H01 = np.uint64(0x0101010101010101)
 
 
-def _popcount_u64(words: np.ndarray) -> np.ndarray:
-    """Per-element popcount of a uint64 array (vectorized SWAR)."""
+def _popcount_u64_swar(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (vectorized SWAR fallback
+    for NumPy < 2.0, which lacks ``np.bitwise_count``)."""
     v = words.copy()
     v -= (v >> np.uint64(1)) & _M1
     v = (v & _M2) + ((v >> np.uint64(2)) & _M2)
@@ -174,6 +182,17 @@ def _popcount_u64(words: np.ndarray) -> np.ndarray:
     with np.errstate(over="ignore"):
         v *= _H01
     return (v >> np.uint64(56)).astype(np.int64)
+
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+if _HAS_BITWISE_COUNT:
+    def _popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount via the native ufunc (one pass, no
+        SWAR mask temporaries)."""
+        return np.bitwise_count(words).astype(np.int64)
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _popcount_u64 = _popcount_u64_swar
 
 
 def mma_m8n8k128_b1(a_bits: np.ndarray, b_bits: np.ndarray,
@@ -205,7 +224,11 @@ def mma_b1_batched(a_words: np.ndarray, b_words: np.ndarray,
         raise ValueError("packed operands must be (..., 8, 2) uint64")
     # AND every row of A with every packed column of B, then popcount
     anded = a_words[..., :, np.newaxis, :] & b_words[..., np.newaxis, :, :]
-    counts = _popcount_u64(anded[..., 0]) + _popcount_u64(anded[..., 1])
+    if _HAS_BITWISE_COUNT:
+        # count both packed words in one ufunc pass, summed exactly
+        counts = np.bitwise_count(anded).sum(axis=-1, dtype=np.int64)
+    else:  # pragma: no cover - exercised only on NumPy < 2.0
+        counts = _popcount_u64(anded[..., 0]) + _popcount_u64(anded[..., 1])
     if c is not None:
         counts = counts + np.asarray(c, dtype=np.int64)
     return counts

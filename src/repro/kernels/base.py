@@ -139,7 +139,8 @@ def _memoize_stats(impl: Callable[..., KernelStats]
     def wrapper(self: "Workload", variant: "Variant",
                 case: "WorkloadCase") -> KernelStats:
         try:
-            key = content_key(type(self).__qualname__, vars(self),
+            key = content_key(type(self).__qualname__,
+                              dict(self._memo_state()),
                               variant, case.label, dict(case.params))
         except TypeError:   # unkeyable workload/case state: just compute
             return impl(self, variant, case)
@@ -212,6 +213,15 @@ class Workload(abc.ABC):
         ``_memoize_stats``); they must stay pure functions of the
         workload's configuration attributes, the variant, and the case.
         """
+
+    def _memo_state(self) -> Mapping[str, Any]:
+        """Instance state that keys the ``analytic_stats`` memo.
+
+        Defaults to all instance attributes.  Workloads that lazily attach
+        derived caches to ``self`` (which would destabilize the key and
+        defeat memoization) override this to return only their
+        configuration attributes."""
+        return vars(self)
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)

@@ -22,7 +22,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_fp64_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -156,13 +156,20 @@ class FftWorkload(Workload):
             at = a * tw[None, :, None, :]
             if r == 4:
                 # 4-point DFT as D4 @ at over the radix axis, done with four
-                # real MMA products: Yr = Dr Ar - Di Ai ; Yi = Dr Ai + Di Ar
+                # real MMA products: Yr = Dr Ar - Di Ai ; Yi = Dr Ai + Di Ar.
+                # The four same-shaped products stack into one launch-plan
+                # sweep per stage (they are independent of each other).
                 flat = at.transpose(0, 2, 3, 1).reshape(-1, 4, 1)
                 ar, ai = flat.real.copy(), flat.imag.copy()
-                yr = mma_fp64_batched(d4r[np.newaxis], ar) \
-                    - mma_fp64_batched(d4i[np.newaxis], ai)
-                yi = mma_fp64_batched(d4r[np.newaxis], ai) \
-                    + mma_fp64_batched(d4i[np.newaxis], ar)
+                plan = LaunchPlan()
+                handles = (plan.product(d4r[np.newaxis], ar),
+                           plan.product(d4i[np.newaxis], ai),
+                           plan.product(d4r[np.newaxis], ai),
+                           plan.product(d4i[np.newaxis], ar))
+                prod = execute_plan(plan, label="fft")
+                p_rr, p_ii, p_ri, p_ir = (prod[h] for h in handles)
+                yr = p_rr - p_ii
+                yi = p_ri + p_ir
                 out = (yr + 1j * yi).reshape(batch, m, ell, r)
                 # Stockham layout: block j, then output index s, then k
                 y = out.transpose(0, 1, 3, 2).reshape(batch, n)

@@ -21,7 +21,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_fp64_batched
+from ..gpu.launch import run_chain
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -91,9 +91,11 @@ class GemmWorkload(Workload):
         if variant is Variant.BASELINE:
             out = self._gemm_kpanel(data["a"], data["b"], TILE_BASE)
         else:
-            # TC and CC share the MMA primitive: k-sequential rank-1 updates
-            out = mma_fp64_batched(data["a"][np.newaxis],
-                                   data["b"][np.newaxis])[0]
+            # TC and CC share the launch engine: one single-chain plan whose
+            # fused sweep applies the k-sequential rank-1 updates
+            out = run_chain(data["a"][np.newaxis, np.newaxis],
+                            data["b"][np.newaxis, np.newaxis],
+                            label="gemm")[0]
         stats = self._stats(variant, m, n, k)
         return device.resolve(stats, output=out)
 

@@ -20,7 +20,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_m8n8k4_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -91,11 +91,13 @@ class GemvWorkload(Workload):
     @staticmethod
     def _mma_gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
         """TC/CC path: A in 8x4 blocks, x broadcast into every column of
-        the B operand, one chained ``mma_m8n8k4`` per k tile; the
-        accumulator diagonal carries y (full input, partial output).
-        Chaining C across tiles keeps the per-row sum strictly
-        left-to-right in k, so the result is bit-identical to the serial
-        reference (padding contributes exact ``+0.0`` terms)."""
+        the B operand, one ``mma_m8n8k4`` per k tile chained through the
+        accumulator; the accumulator diagonal carries y (full input,
+        partial output).  The whole k-tile chain is recorded into a
+        :class:`LaunchPlan` and executed as one fused sweep, which keeps
+        the per-row sum strictly left-to-right in k, so the result is
+        bit-identical to the serial reference (padding contributes exact
+        ``+0.0`` terms)."""
         m, n = a.shape
         rows, ktiles = ceil_div(m, 8) * 8, ceil_div(n, 4)
         a_pad = np.zeros((rows, ktiles * 4))
@@ -103,10 +105,11 @@ class GemvWorkload(Workload):
         x_pad = np.zeros(ktiles * 4)
         x_pad[:n] = x
         tiles = a_pad.reshape(rows // 8, 8, ktiles, 4).transpose(0, 2, 1, 3)
-        acc = None
-        for t in range(ktiles):
-            b_tile = np.broadcast_to(x_pad[4 * t:4 * t + 4, None], (4, 8))
-            acc = mma_m8n8k4_batched(tiles[:, t], b_tile, acc)
+        b_steps = np.broadcast_to(x_pad.reshape(ktiles, 4, 1),
+                                  (rows // 8, ktiles, 4, 8))
+        plan = LaunchPlan()
+        h = plan.chain(tiles, b_steps)
+        acc = execute_plan(plan, label="gemv")[h]
         diag = np.arange(8)
         return acc[:, diag, diag].reshape(rows)[:m].copy()
 
@@ -114,13 +117,22 @@ class GemvWorkload(Workload):
     def _lane_tree_dot(a: np.ndarray, x: np.ndarray, lanes: int
                        ) -> np.ndarray:
         """Strided lane partial sums followed by a binary tree combine —
-        the vector-unit reduction order (differs from the MMA chain)."""
+        the vector-unit reduction order (differs from the MMA chain).
+
+        Lane ``l`` accumulates ``a[:, l], a[:, l+lanes], ...`` in index
+        order, so one vectorized add per *round* of ``lanes`` columns (plus
+        an exact tail slice) performs the same adds in the same order as
+        the scalar per-column loop it replaces."""
         m, n = a.shape
-        pad = ceil_div(n, lanes) * lanes
         partial = np.zeros((m, lanes))
-        for k in range(pad):
-            if k < n:
-                partial[:, k % lanes] += a[:, k] * x[k]
+        full = n // lanes
+        ap = a[:, :full * lanes].reshape(m, full, lanes)
+        xp = x[:full * lanes].reshape(full, lanes)
+        for r in range(full):
+            partial += ap[:, r] * xp[r]
+        rem = n - full * lanes
+        if rem:
+            partial[:, :rem] += a[:, full * lanes:] * x[full * lanes:]
         w = lanes
         while w > 1:
             half = w // 2

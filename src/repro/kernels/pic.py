@@ -29,7 +29,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_fp64_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from .base import (
     CC_EFF_MMA,
     TC_EFF,
@@ -165,7 +165,11 @@ class PicWorkload(Workload):
         skew[:, 1, 0] = b[:, 2]
         row = np.zeros((n, 1, 4))
         row[:, 0, :3] = a
-        return mma_fp64_batched(row, skew)[:, 0, :3]
+        # the two Boris rotations are data-dependent, so each is its own
+        # single-product launch plan (no fusion possible across them)
+        plan = LaunchPlan()
+        h = plan.product(row, skew)
+        return execute_plan(plan, label="pic")[h][:, 0, :3]
 
     # ------------------------------------------------------------------
     def analytic_stats(self, variant: Variant,

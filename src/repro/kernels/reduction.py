@@ -23,7 +23,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_m8n8k4_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -109,8 +109,10 @@ class ReductionWorkload(Workload):
 
     @staticmethod
     def _mma_reduce(x: np.ndarray) -> np.ndarray:
-        """TC/CC path: chained constant-operand MMAs, then the k-ordered
-        fold of the eight row-0 partials."""
+        """TC/CC path: chained constant-operand MMAs — recorded as one
+        launch-plan chain and executed as a single fused sweep (the A1
+        constant repeats per step) — then the k-ordered fold of the eight
+        row-0 partials."""
         nseg, seg = x.shape
         tiles = ceil_div(seg, 32)
         pad = tiles * 32
@@ -118,10 +120,10 @@ class ReductionWorkload(Workload):
         v[:, :seg] = x
         # tile t of a segment is elements [32t, 32t+32) as a 4x8 block
         v = v.reshape(nseg, tiles, 4, 8)
-        acc = np.zeros((nseg, 8, 8))
-        a1 = np.broadcast_to(A1_CONSTANT, (nseg, 8, 4))
-        for t in range(tiles):
-            acc = mma_m8n8k4_batched(a1, v[:, t], acc)
+        a1 = np.broadcast_to(A1_CONSTANT, (nseg, tiles, 8, 4))
+        plan = LaunchPlan()
+        h = plan.chain(a1, v)
+        acc = execute_plan(plan, label="reduction")[h]
         # final fold: row 0 holds 8 column partials, combined in k order
         out = np.zeros(nseg)
         for j in range(8):
@@ -145,12 +147,20 @@ class ReductionWorkload(Workload):
 
     @staticmethod
     def _cub_block_reduce(x: np.ndarray, lanes: int = 32) -> np.ndarray:
-        """Baseline: 32 strided lane partials, then a shuffle tree."""
+        """Baseline: 32 strided lane partials, then a shuffle tree.
+
+        One vectorized add per round of ``lanes`` elements (plus an exact
+        tail slice) performs lane ``l``'s adds in the same index order as
+        the scalar per-element loop it replaces."""
         nseg, seg = x.shape
         partial = np.zeros((nseg, lanes))
-        for k in range(ceil_div(seg, lanes) * lanes):
-            if k < seg:
-                partial[:, k % lanes] += x[:, k]
+        full = seg // lanes
+        xp = x[:, :full * lanes].reshape(nseg, full, lanes)
+        for r in range(full):
+            partial += xp[:, r]
+        rem = seg - full * lanes
+        if rem:
+            partial[:, :rem] += x[:, full * lanes:]
         w = lanes
         while w > 1:
             half = w // 2

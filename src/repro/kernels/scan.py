@@ -24,7 +24,7 @@ import numpy as np
 from ..datasets.synthetic import Lcg
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_fp64_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from .base import (
     CC_EFF,
     CC_EFF_MMA,
@@ -107,25 +107,31 @@ class ScanWorkload(Workload):
 
     @staticmethod
     def _mma_scan(x: np.ndarray) -> np.ndarray:
-        """TC/CC path: the three constant-matrix MMAs per 64-element block,
-        then a sequential chain of block offsets within each segment."""
+        """TC/CC path: the three constant-matrix MMAs per 64-element block
+        (the independent P and rowsum products stack into one launch-plan
+        sweep; the offset product depends on rowsum and runs second), then
+        the sequential chain of block offsets within each segment."""
         nseg, seg = x.shape
         blocks = ceil_div(seg, 64)
         pad = blocks * 64
         v = np.zeros((nseg, pad))
         v[:, :seg] = x
         v = v.reshape(nseg, blocks, 8, 8)
-        p = mma_fp64_batched(v, np.broadcast_to(UPPER_ONES, v.shape))
-        rowsum = mma_fp64_batched(v, np.broadcast_to(ALL_ONES, v.shape))
-        offs = mma_fp64_batched(np.broadcast_to(LOWER_STRICT_ONES, v.shape),
-                                rowsum)
+        plan = LaunchPlan()
+        hp = plan.product(v, np.broadcast_to(UPPER_ONES, v.shape))
+        hr = plan.product(v, np.broadcast_to(ALL_ONES, v.shape))
+        p, rowsum = execute_plan(plan, label="scan")
+        offs_plan = LaunchPlan()
+        ho = offs_plan.product(np.broadcast_to(LOWER_STRICT_ONES, v.shape),
+                               rowsum)
+        offs = execute_plan(offs_plan, label="scan")[ho]
         blk = p + offs                                  # in-block scan
-        # chain block offsets sequentially (the segmented part)
-        out = np.empty((nseg, blocks, 8, 8))
-        carry = np.zeros(nseg)
-        for b in range(blocks):
-            out[:, b] = blk[:, b] + carry[:, np.newaxis, np.newaxis]
-            carry = carry + blk[:, b, 7, 7]
+        # chain block offsets sequentially (the segmented part).  cumsum is
+        # ufunc accumulate — strictly left-to-right — so the per-segment
+        # carries equal the explicit Python chain bit-for-bit.
+        carry = np.zeros((nseg, blocks))
+        np.cumsum(blk[:, :-1, 7, 7], axis=1, out=carry[:, 1:])
+        out = blk + carry[:, :, np.newaxis, np.newaxis]
         return out.reshape(nseg, pad)[:, :seg].copy()
 
     @staticmethod

@@ -19,12 +19,15 @@ memory budget; the analytic path runs symbolically at any scale).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..datasets.suitesparse import SPMV_MATRICES, generate_matrix
+from ..gpu import warp_events
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device, KernelResult
-from ..gpu.mma import mma_fp64_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 from ..sparse.csr import CsrMatrix
 from ..sparse.mbsr import BLOCK, MbsrMatrix
 from .base import (
@@ -51,6 +54,14 @@ TC_REUSE = 0.70
 #: fraction of the baseline's scalar B-row re-reads that miss L2 (the
 #: expand phase revisits rows hash-scattered, but hot rows stay cached)
 BASE_REUSE = 0.15
+
+
+@functools.lru_cache(maxsize=32)
+def _analytic_matrix(name: str, scale: float) -> tuple[CsrMatrix, MbsrMatrix]:
+    """Cache the (deterministic) analytic matrix and its mBSR conversion so
+    the four variants of a case do not regenerate them."""
+    a = generate_matrix(name, scale=scale)
+    return a, MbsrMatrix.from_csr(a)
 
 
 def accumulate_sequential(keys: np.ndarray, vals: np.ndarray
@@ -99,30 +110,67 @@ class SpgemmWorkload(Workload):
 
     def reference(self, data: dict) -> CsrMatrix:
         """Serial ground truth: scalar expansion in row-k order with
-        strictly sequential duplicate accumulation."""
+        strictly sequential duplicate accumulation.
+
+        The expansion is chunked at A-row boundaries (~``CHUNK`` products
+        per chunk) so the sort/gather/accumulate working set stays
+        cache-resident; rows never straddle a chunk, so chunk outputs are
+        key-disjoint and globally sorted, and concatenating them is
+        bit-identical to the single-pass expansion."""
         a: CsrMatrix = data["a"]
-        rows, cols, vals = self._expand_scalar(a, a)
-        key = rows * np.int64(a.n_cols) + cols
-        order = np.argsort(key, kind="stable")
-        keys_u, sums = accumulate_sequential(key[order], vals[order])
+        b = a
+        b_len = b.row_lengths()
+        expand = b_len[a.indices]
+        seg = np.cumsum(expand) - expand        # product offset per A entry
+        total = int(seg[-1] + expand[-1]) if len(expand) else 0
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return CsrMatrix.from_coo(empty, empty, np.empty(0),
+                                      (a.n_rows, a.n_cols),
+                                      sum_duplicates=False)
+        # b_pos for product p of entry e is start[e] + p
+        start = b.indptr[a.indices] - seg
+        rowkey = a.row_of_entry() * np.int64(a.n_cols)
+        # key values stay below n_rows*n_cols; a 32-bit sort key halves
+        # the radix passes without changing the (stable) permutation
+        small = a.n_rows * a.n_cols < 2 ** 31
+        row_prod = np.r_[seg, total][a.indptr]  # product offset per row
+        keys_parts: list[np.ndarray] = []
+        sums_parts: list[np.ndarray] = []
+        for r0, r1 in self._row_chunks(row_prod, total):
+            e0, e1 = int(a.indptr[r0]), int(a.indptr[r1])
+            p0, p1 = int(row_prod[r0]), int(row_prod[r1])
+            entry = np.repeat(np.arange(e0, e1, dtype=np.int64),
+                              expand[e0:e1])
+            b_pos = start[entry] + np.arange(p0, p1, dtype=np.int64)
+            key = rowkey[entry] + b.indices[b_pos]
+            vals = a.data[entry] * b.data[b_pos]
+            order = np.argsort(key.astype(np.int32) if small else key,
+                               kind="stable")
+            keys_u, sums = accumulate_sequential(key[order], vals[order])
+            keys_parts.append(keys_u)
+            sums_parts.append(sums)
+        keys_u = np.concatenate(keys_parts)
+        sums = np.concatenate(sums_parts)
         return CsrMatrix.from_coo(keys_u // a.n_cols, keys_u % a.n_cols,
                                   sums, (a.n_rows, a.n_cols),
                                   sum_duplicates=False)
 
     @staticmethod
-    def _expand_scalar(a: CsrMatrix, b: CsrMatrix
-                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All scalar products of A @ B in (row of A, k) order."""
-        b_len = b.row_lengths()
-        a_rows = a.row_of_entry()
-        expand = b_len[a.indices]
-        prod_row = np.repeat(a_rows, expand)
-        prod_aval = np.repeat(a.data, expand)
-        b_start = np.repeat(b.indptr[a.indices], expand)
-        within = np.arange(len(prod_row), dtype=np.int64)
-        seg_begin = np.repeat(np.cumsum(expand) - expand, expand)
-        b_pos = b_start + (within - seg_begin)
-        return prod_row, b.indices[b_pos], prod_aval * b.data[b_pos]
+    def _row_chunks(row_prod: np.ndarray,
+                    total: int) -> list[tuple[int, int]]:
+        """Split rows into runs of ~``CHUNK`` scalar products each.
+
+        ``row_prod`` maps row boundary -> cumulative product count; cuts
+        land on row boundaries only."""
+        n_rows = len(row_prod) - 1
+        n_chunks = max(1, -(-total // CHUNK))
+        per = -(-total // n_chunks)
+        targets = np.arange(1, n_chunks, dtype=np.int64) * per
+        cuts = np.unique(np.r_[0, np.searchsorted(row_prod, targets),
+                               n_rows])
+        return [(int(r0), int(r1)) for r0, r1 in zip(cuts[:-1], cuts[1:])
+                if row_prod[r0] != row_prod[r1]]
 
     # ------------------------------------------------------------------
     def execute(self, variant: Variant, data: dict,
@@ -131,8 +179,18 @@ class SpgemmWorkload(Workload):
         if variant is Variant.BASELINE:
             out = a.spgemm(a)
         else:
-            out = self._block_spgemm(data["mbsr"],
-                                     tree=(variant is Variant.CCE))
+            # TC and CC run the identical block sweep (bit-identity by
+            # construction), so within one prepared case the second
+            # variant reuses the first's output — except under the warp
+            # sanitizer, where each variant must replay its own traffic
+            tree = variant is Variant.CCE
+            cache_key = "_block_out_tree" if tree else "_block_out"
+            audited = warp_events.TRACER is not None
+            out = None if audited else data.get(cache_key)
+            if out is None:
+                out = self._block_spgemm(data["mbsr"], tree=tree)
+                if not audited:
+                    data[cache_key] = out
         stats = self._stats(variant, a, data["mbsr"])
         return device.resolve(stats, output=out)
 
@@ -143,15 +201,15 @@ class SpgemmWorkload(Workload):
         (i,k) x (k,j) returns (out block row, out block col, A block index,
         B block index)."""
         b_len = np.diff(m.block_indptr)
-        a_brow = m.block_row_of_block()
         expand = b_len[m.block_indices]
-        prod_brow = np.repeat(a_brow, expand)
-        prod_ablk = np.repeat(np.arange(m.n_blocks, dtype=np.int64), expand)
-        b_start = np.repeat(m.block_indptr[m.block_indices], expand)
-        within = np.arange(len(prod_brow), dtype=np.int64)
-        seg_begin = np.repeat(np.cumsum(expand) - expand, expand)
-        b_pos = b_start + (within - seg_begin)
-        return prod_brow, m.block_indices[b_pos], prod_ablk, b_pos
+        seg = np.cumsum(expand) - expand
+        # B position of product j of block entry e is start[e] + j, so one
+        # gather through the entry map replaces the double gather
+        start = m.block_indptr[m.block_indices] - seg
+        ablk = np.repeat(np.arange(m.n_blocks, dtype=np.int64), expand)
+        b_pos = start[ablk] + np.arange(len(ablk), dtype=np.int64)
+        return (m.block_row_of_block()[ablk], m.block_indices[b_pos],
+                ablk, b_pos)
 
     def _block_spgemm(self, m: MbsrMatrix, tree: bool) -> CsrMatrix:
         """TC/CC (``tree=False``) or CC-E (``tree=True``) block SpGEMM."""
@@ -164,25 +222,34 @@ class SpgemmWorkload(Workload):
             np.empty(0, dtype=bool)
         group = np.cumsum(uniq_mask) - 1 if len(key) else key
         n_out = int(group[-1]) + 1 if len(key) else 0
-        acc = np.zeros((n_out, BLOCK, BLOCK))
-        within = (np.arange(len(key), dtype=np.int64)
-                  - np.flatnonzero(uniq_mask)[group]) if len(key) else key
-        max_dup = int(within.max()) + 1 if len(key) else 0
-        for i in range(max_dup):
-            sel = within == i
-            if not sel.any():
-                continue
-            lhs = m.blocks[ablk[sel]]
-            rhs = m.blocks[bblk[sel]]
-            if tree:
+        starts = np.flatnonzero(uniq_mask)
+        if not tree:
+            # TC/CC: each output block's duplicate run is one chain; the
+            # sorted order makes runs contiguous, so the whole product set
+            # is one ragged launch plan (bucketed by duplicate count) with
+            # the same sequential per-block accumulation order as the
+            # round-by-round loop it replaces.
+            dup = np.diff(np.r_[starts, len(key)])
+            plan = LaunchPlan()
+            h = plan.ragged(m.blocks[ablk], m.blocks[bblk], dup, starts)
+            acc = execute_plan(plan, label="spgemm")[h]
+        else:
+            acc = np.zeros((n_out, BLOCK, BLOCK))
+            within = (np.arange(len(key), dtype=np.int64)
+                      - starts[group]) if len(key) else key
+            max_dup = int(within.max()) + 1 if len(key) else 0
+            for i in range(max_dup):
+                sel = within == i
+                if not sel.any():
+                    continue
+                lhs = m.blocks[ablk[sel]]
+                rhs = m.blocks[bblk[sel]]
                 # essential path: k pairs combined by a binary tree
                 prods = lhs[:, :, :, np.newaxis] * rhs[:, np.newaxis, :, :]
                 prods = np.swapaxes(prods, 2, 3)  # (p, i, j, k)
                 step = (prods[..., 0] + prods[..., 2]) \
                     + (prods[..., 1] + prods[..., 3])
                 acc[group[sel]] += step
-            else:
-                acc[group[sel]] = mma_fp64_batched(lhs, rhs, acc[group[sel]])
         # expand accumulated blocks back to scalar CSR
         out_key = key[uniq_mask] if len(key) else key
         out_brow = out_key // nbc
@@ -200,8 +267,8 @@ class SpgemmWorkload(Workload):
     # ------------------------------------------------------------------
     def analytic_stats(self, variant: Variant,
                        case: WorkloadCase) -> KernelStats:
-        a = generate_matrix(case["matrix"], scale=self.scale)
-        return self._stats(variant, a, MbsrMatrix.from_csr(a))
+        a, m = _analytic_matrix(case["matrix"], self.scale)
+        return self._stats(variant, a, m)
 
     def _stats(self, variant: Variant, a: CsrMatrix,
                m: MbsrMatrix) -> KernelStats:

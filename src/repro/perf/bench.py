@@ -6,6 +6,14 @@ empty cache directory; *warm* repeats the identical invocation against the
 directory the cold run populated.  The resulting JSON records absolute
 wall-clock plus the warm/cold ratio so future PRs can track the perf
 trajectory of the evaluation engine.
+
+With ``profile=True`` the cold invocation additionally dumps its per-stage
+wall-clock registry (via the ``REPRO_STAGE_JSON`` hook in the CLI) and the
+result carries a ``profile`` block: the raw stages plus sums grouped into
+``plan-build`` / ``sweep-execute`` / ``model-resolve`` / ``other`` — the
+attribution surface of ``repro bench --profile``.  :func:`check_regression`
+compares cold times against a checked-in baseline with a tolerance, the CI
+perf gate.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["BENCHES", "run_bench", "write_bench_json"]
+__all__ = ["BENCHES", "run_bench", "write_bench_json", "check_regression"]
 
 #: bench name -> ``python -m repro`` argument list.  ``observations`` is
 #: the nine-observation audit, ``perf`` the Figures 3-6 grid
@@ -33,10 +41,15 @@ BENCHES: dict[str, tuple[str, ...]] = {
 }
 
 
-def _invoke(args: tuple[str, ...], cache_dir: str) -> float:
+def _invoke(args: tuple[str, ...], cache_dir: str,
+            stage_json: str | None = None) -> float:
     """Run one CLI invocation in a fresh interpreter; returns wall-clock."""
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = cache_dir
+    if stage_json is not None:
+        env["REPRO_STAGE_JSON"] = stage_json
+    else:
+        env.pop("REPRO_STAGE_JSON", None)
     src = str(Path(__file__).resolve().parent.parent.parent)
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")
@@ -51,12 +64,29 @@ def _invoke(args: tuple[str, ...], cache_dir: str) -> float:
     return wall
 
 
+#: stage-name prefixes summed into their own profile group; everything
+#: else (dataset generation, audits, ...) lands in ``other``
+_PROFILE_GROUPS = ("plan-build", "sweep-execute", "model-resolve")
+
+
+def _group_stages(stages: dict[str, dict]) -> dict[str, float]:
+    """Sum raw stage seconds into the coarse attribution groups."""
+    groups = dict.fromkeys(_PROFILE_GROUPS + ("other",), 0.0)
+    for name, rec in stages.items():
+        head = name.split(":", 1)[0]
+        key = head if head in _PROFILE_GROUPS else "other"
+        groups[key] += float(rec.get("seconds", 0.0))
+    return {k: round(v, 3) for k, v in groups.items()}
+
+
 def run_bench(names: list[str] | None = None,
-              cache_dir: str | Path | None = None) -> dict[str, dict]:
+              cache_dir: str | Path | None = None,
+              profile: bool = False) -> dict[str, dict]:
     """Measure cold and warm wall-clock for the selected benches.
 
     With no ``cache_dir`` a fresh temporary directory is used (true cold
-    start) and removed afterwards.
+    start) and removed afterwards.  ``profile=True`` attaches the cold
+    run's per-stage wall-clock to each result.
     """
     names = list(BENCHES) if names is None else names
     for name in names:
@@ -71,7 +101,11 @@ def run_bench(names: list[str] | None = None,
         for name in names:
             bench_cache = root / name
             bench_cache.mkdir(parents=True, exist_ok=True)
-            cold = _invoke(BENCHES[name], str(bench_cache))
+            stage_json = bench_cache / "stages_cold.json" if profile \
+                else None
+            cold = _invoke(BENCHES[name], str(bench_cache),
+                           stage_json=str(stage_json) if stage_json
+                           else None)
             warm = _invoke(BENCHES[name], str(bench_cache))
             results[name] = {
                 "args": list(BENCHES[name]),
@@ -79,10 +113,46 @@ def run_bench(names: list[str] | None = None,
                 "warm_s": round(warm, 3),
                 "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
             }
+            if stage_json is not None and stage_json.exists():
+                stages = json.loads(stage_json.read_text(encoding="utf-8"))
+                results[name]["profile"] = {
+                    "groups": _group_stages(stages),
+                    "stages": {n: {"seconds": round(r["seconds"], 3),
+                                   "calls": r["calls"]}
+                               for n, r in sorted(stages.items())},
+                }
     finally:
         if ctx:
             ctx.cleanup()
     return results
+
+
+def check_regression(results: dict[str, dict],
+                     baseline_path: str | Path,
+                     tolerance: float = 0.25) -> list[str]:
+    """Compare cold times against a checked-in bench baseline.
+
+    Returns one message per bench whose cold wall-clock exceeds the
+    baseline by more than ``tolerance`` (fractional).  Benches absent from
+    the baseline pass (new benches cannot regress); a missing baseline
+    file is itself an issue so CI cannot silently skip the gate.
+    """
+    path = Path(baseline_path)
+    if not path.exists():
+        return [f"bench baseline {path} not found"]
+    base = json.loads(path.read_text(encoding="utf-8")).get("benches", {})
+    issues: list[str] = []
+    for name in sorted(results):
+        ref = base.get(name, {}).get("cold_s")
+        if ref is None:
+            continue
+        limit = float(ref) * (1.0 + tolerance)
+        cold = float(results[name]["cold_s"])
+        if cold > limit:
+            issues.append(
+                f"{name}: cold {cold:.1f}s exceeds baseline {ref:.1f}s "
+                f"by more than {tolerance:.0%} (limit {limit:.1f}s)")
+    return issues
 
 
 def write_bench_json(path: str | Path, results: dict[str, dict],

@@ -190,30 +190,36 @@ class CsrMatrix:
         out_cols: list[np.ndarray] = []
         out_vals: list[np.ndarray] = []
         b_lengths = other.row_lengths()
-        for r0 in range(0, self.n_rows, chunk_rows):
-            r1 = min(r0 + chunk_rows, self.n_rows)
-            lo, hi = self.indptr[r0], self.indptr[r1]
+        # per-entry expansion counts and cumulative product offsets; rows
+        # never straddle a chunk and output groups live within one row, so
+        # any row-aligned chunking yields bit-identical results (tested)
+        expand_all = b_lengths[self.indices]
+        segx = np.r_[0, np.cumsum(expand_all)]
+        row_prod = segx[self.indptr]
+        # a 32-bit sort key halves the radix passes when it fits
+        small = self.n_rows * other.n_cols < 2 ** 31
+        for r0, r1 in self._spgemm_cuts(row_prod, chunk_rows):
+            lo, hi = int(self.indptr[r0]), int(self.indptr[r1])
+            n_prod = int(row_prod[r1] - row_prod[r0])
+            if n_prod == 0:
+                continue
             a_cols = self.indices[lo:hi]
             a_vals = self.data[lo:hi]
-            a_rows = np.repeat(
+            rowkey = np.repeat(
                 np.arange(r0, r1, dtype=np.int64),
-                np.diff(self.indptr[r0:r1 + 1]))
-            # expand: each a_ik meets every nonzero of B's row k
-            expand = b_lengths[a_cols]
-            if expand.sum() == 0:
-                continue
-            prod_row = np.repeat(a_rows, expand)
-            prod_aval = np.repeat(a_vals, expand)
-            # positions of B entries for each product
-            b_start = np.repeat(other.indptr[a_cols], expand)
-            within = np.arange(len(prod_row), dtype=np.int64)
-            seg_begin = np.repeat(np.cumsum(expand) - expand, expand)
-            b_pos = b_start + (within - seg_begin)
-            prod_col = other.indices[b_pos]
-            prod_val = prod_aval * other.data[b_pos]
+                np.diff(self.indptr[r0:r1 + 1])) * np.int64(other.n_cols)
+            # one repeat builds the entry map; everything else is a single
+            # gather through it (the B position of product j of entry e is
+            # start[e] + j, chunk-local)
+            start = other.indptr[a_cols] - (segx[lo:hi] - segx[lo])
+            entry = np.repeat(np.arange(hi - lo, dtype=np.int64),
+                              expand_all[lo:hi])
+            b_pos = start[entry] + np.arange(n_prod, dtype=np.int64)
+            key = rowkey[entry] + other.indices[b_pos]
+            prod_val = a_vals[entry] * other.data[b_pos]
             # compress duplicates
-            key = prod_row * np.int64(other.n_cols) + prod_col
-            order = np.argsort(key, kind="stable")
+            order = np.argsort(key.astype(np.int32) if small else key,
+                               kind="stable")
             key_s = key[order]
             val_s = prod_val[order]
             boundaries = np.flatnonzero(np.r_[True, key_s[1:] != key_s[:-1]])
@@ -230,6 +236,26 @@ class CsrMatrix:
             np.concatenate(out_rows), np.concatenate(out_cols),
             np.concatenate(out_vals), (self.n_rows, other.n_cols),
             sum_duplicates=False)
+
+    @staticmethod
+    def _spgemm_cuts(row_prod: np.ndarray,
+                     chunk_rows: int) -> list[tuple[int, int]]:
+        """Row-aligned chunk boundaries for :meth:`spgemm`: a cut every
+        ``chunk_rows`` rows, refined wherever ~512K scalar products have
+        accrued so each chunk's sort/gather working set stays
+        cache-resident.  ``row_prod`` maps row boundary -> cumulative
+        product count."""
+        n_rows = len(row_prod) - 1
+        cuts = set(range(0, n_rows, chunk_rows))
+        cuts.add(n_rows)
+        prod_chunk = 1 << 19
+        total = int(row_prod[-1])
+        if total > prod_chunk:
+            targets = np.arange(1, total // prod_chunk + 1,
+                                dtype=np.int64) * prod_chunk
+            cuts.update(np.searchsorted(row_prod, targets).tolist())
+        ordered = sorted(cuts)
+        return list(zip(ordered[:-1], ordered[1:]))
 
     # ------------------------------------------------------------ helpers
     def _check_x(self, x: np.ndarray) -> np.ndarray:

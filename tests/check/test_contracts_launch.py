@@ -1,0 +1,124 @@
+"""R005 must accept workloads whose TC/CC paths reach the launch-plan
+engine (gpu/launch.py) instead of calling gpu/mma.py primitives directly —
+and must keep rejecting paths that reach neither."""
+
+import ast
+import textwrap
+
+from repro.check.contracts import (
+    LAUNCH_PRIMITIVES,
+    MMA_PRIMITIVES,
+    contract_findings,
+)
+
+
+def _findings(src: str, relpath: str = "kernels/example.py"):
+    tree = ast.parse(textwrap.dedent(src), filename=relpath)
+    return contract_findings(tree, relpath)
+
+
+_HEAD = """
+from ..gpu.launch import LaunchPlan, execute_plan, run_chain, run_ragged
+from ..gpu.mma import mma_fp64_batched
+from .base import Variant, Workload
+"""
+
+_BOILERPLATE = """
+    name = "example"
+    quadrant = "I"
+    dwarf = "Dense"
+    baseline_name = "ref"
+    def cases(self):
+        return []
+    def prepare(self, case, seed=1325):
+        return {}
+    def reference(self, data):
+        return None
+    def analytic_stats(self, variant, case):
+        return None
+"""
+
+
+def test_launch_primitives_disjoint_from_mma():
+    assert not (LAUNCH_PRIMITIVES & MMA_PRIMITIVES)
+    assert "execute_plan" in LAUNCH_PRIMITIVES
+
+
+def test_execute_plan_satisfies_r005():
+    findings = _findings(_HEAD + """
+class PlanWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        plan = LaunchPlan()
+        h = plan.chain(data["a"], data["b"])
+        return execute_plan(plan)[h]
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_run_chain_through_helper_satisfies_r005():
+    findings = _findings(_HEAD + """
+class HelperWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        if variant in (Variant.TC, Variant.CC):
+            return self._mma_path(data)
+        return data["a"] @ data["b"]
+    def _mma_path(self, data):
+        return run_chain(data["a"], data["b"])
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_run_ragged_satisfies_r005():
+    findings = _findings(_HEAD + """
+class RaggedWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        return run_ragged(data["a"], data["b"], data["len"], data["off"])
+""")
+    assert not [f for f in findings if f.rule == "R005"]
+
+
+def test_no_primitive_still_flagged():
+    findings = _findings(_HEAD + """
+class BareWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        return data["a"] @ data["b"]
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 2   # TC and CC both unreachable
+
+
+def test_launch_name_from_wrong_module_rejected():
+    # a local function named execute_plan must not satisfy R005
+    findings = _findings("""
+from .base import Variant, Workload
+def execute_plan(plan):
+    return []
+class FakeWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        return execute_plan(None)
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 2
+
+
+def test_mixed_mma_and_launch_share_requirement():
+    # TC via launch, CC via a direct primitive: both reach *a* primitive
+    # but share none -> the disjointness error fires
+    findings = _findings(_HEAD + """
+class SplitWorkload(Workload):
+""" + _BOILERPLATE + """
+    def execute(self, variant, data, device):
+        if variant is Variant.TC:
+            return run_chain(data["a"], data["b"])
+        elif variant is Variant.CC:
+            return mma_fp64_batched(data["a"], data["b"])
+        return None
+""")
+    r005 = [f for f in findings if f.rule == "R005"]
+    assert len(r005) == 1
+    assert "disjoint" in r005[0].message

@@ -1,0 +1,219 @@
+"""Property tests for the launch-plan execution engine: every fused sweep
+must be bit-identical to the loop-per-tile primitive calls it replaces."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import launch, mma, warp_events
+from repro.gpu.launch import (
+    LaunchPlan,
+    clear_plan_cache,
+    execute_plan,
+    plan_cache_stats,
+    run_chain,
+    run_ragged,
+)
+
+RNG = np.random.default_rng(1325)
+
+
+def _loop_chain(a_steps, b_steps, c=None):
+    """Reference: one primitive call per chain step."""
+    t = a_steps.shape[-3]
+    batch = np.broadcast_shapes(a_steps.shape[:-3], b_steps.shape[:-3])
+    m, n = a_steps.shape[-2], b_steps.shape[-1]
+    acc = np.zeros(batch + (m, n)) if c is None else np.array(c, dtype=float)
+    a_steps = np.broadcast_to(a_steps, batch + a_steps.shape[-3:])
+    b_steps = np.broadcast_to(b_steps, batch + b_steps.shape[-3:])
+    for step in range(t):
+        acc = mma.mma_fp64_batched(a_steps[..., step, :, :],
+                                   b_steps[..., step, :, :], acc)
+    return acc
+
+
+def _loop_ragged(a_tiles, b_tiles, lengths, offsets, c=None):
+    """Reference: per-item Python chains over the flat tile stacks."""
+    m, n = a_tiles.shape[-2], b_tiles.shape[-1]
+    out = np.zeros((len(lengths), m, n)) if c is None \
+        else np.array(c, dtype=float)
+    for i, (length, off) in enumerate(zip(lengths, offsets)):
+        for s in range(int(length)):
+            out[i] = mma.mma_fp64_batched(a_tiles[off + s],
+                                          b_tiles[off + s], out[i])
+    return out
+
+
+class TestChain:
+    @pytest.mark.parametrize("batch", [(), (3,), (2, 5)])
+    @pytest.mark.parametrize("t", [1, 4, 7])
+    def test_bit_identical_to_loop(self, batch, t):
+        a = RNG.uniform(-2, 2, batch + (t, 8, 4))
+        b = RNG.uniform(-2, 2, batch + (t, 4, 8))
+        np.testing.assert_array_equal(run_chain(a, b), _loop_chain(a, b))
+
+    def test_with_accumulator(self):
+        a = RNG.uniform(-2, 2, (3, 5, 8, 4))
+        b = RNG.uniform(-2, 2, (3, 5, 4, 8))
+        c = RNG.uniform(-2, 2, (3, 8, 8))
+        np.testing.assert_array_equal(run_chain(a, b, c),
+                                      _loop_chain(a, b, c))
+
+    def test_broadcast_b_steps(self):
+        # gemv-style: one B chain broadcast across the A batch
+        a = RNG.uniform(-2, 2, (6, 4, 8, 4))
+        b = np.broadcast_to(RNG.uniform(-2, 2, (4, 4, 8)), (6, 4, 4, 8))
+        np.testing.assert_array_equal(run_chain(a, b), _loop_chain(a, b))
+
+    def test_exact_zero_padding_steps(self):
+        # appending all-zero steps must leave the result bit-unchanged
+        a = RNG.uniform(0.0, 2.0, (3, 4, 8, 4))
+        b = RNG.uniform(0.0, 2.0, (3, 4, 4, 8))
+        a_pad = np.concatenate([a, np.zeros((3, 2, 8, 4))], axis=1)
+        b_pad = np.concatenate([b, np.zeros((3, 2, 4, 8))], axis=1)
+        np.testing.assert_array_equal(run_chain(a_pad, b_pad),
+                                      run_chain(a, b))
+
+    def test_nonstandard_tile_shape(self):
+        # gemm uses one full-matrix chain step
+        a = RNG.uniform(-2, 2, (1, 1, 16, 12))
+        b = RNG.uniform(-2, 2, (1, 1, 12, 9))
+        np.testing.assert_array_equal(run_chain(a, b), _loop_chain(a, b))
+
+
+class TestRagged:
+    def _case(self, lengths, m=8, k=4, n=8, seed=0):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        total = int(lengths.sum())
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-2, 2, (total, m, k))
+        b = rng.uniform(-2, 2, (total, k, n))
+        return a, b, lengths, offsets
+
+    @pytest.mark.parametrize("lengths", [[1], [3, 3, 3], [5, 1, 2, 7],
+                                         [2, 0, 4]])
+    def test_bit_identical_to_loop(self, lengths):
+        a, b, lengths, offsets = self._case(lengths)
+        np.testing.assert_array_equal(
+            run_ragged(a, b, lengths, offsets),
+            _loop_ragged(a, b, lengths, offsets))
+
+    def test_zero_length_keeps_initial_accumulator(self):
+        a, b, lengths, offsets = self._case([2, 0, 3], seed=4)
+        c = RNG.uniform(-2, 2, (3, 8, 8))
+        got = run_ragged(a, b, lengths, offsets, c)
+        np.testing.assert_array_equal(got[1], c[1])
+        np.testing.assert_array_equal(
+            got, _loop_ragged(a, b, lengths, offsets, c))
+
+    def test_spgemm_block_shape(self):
+        a, b, lengths, offsets = self._case([4, 2, 2, 1], m=4, k=4, n=4,
+                                            seed=9)
+        np.testing.assert_array_equal(
+            run_ragged(a, b, lengths, offsets),
+            _loop_ragged(a, b, lengths, offsets))
+
+    def test_bucket_cache_hits_on_same_structure(self):
+        clear_plan_cache()
+        a, b, lengths, offsets = self._case([3, 1, 3], seed=2)
+        run_ragged(a, b, lengths, offsets)
+        first = plan_cache_stats()
+        assert first["misses"] == 1
+        # same segment structure, new values: planning is cached
+        a2 = a + 1.0
+        run_ragged(a2, b, lengths, offsets)
+        second = plan_cache_stats()
+        assert second["misses"] == 1
+        assert second["hits"] == first["hits"] + 1
+
+
+class TestProductStacking:
+    def test_stacked_products_bit_identical(self):
+        a1 = RNG.uniform(-2, 2, (10, 4, 4))
+        a2 = RNG.uniform(-2, 2, (10, 4, 4))
+        b = RNG.uniform(-2, 2, (10, 4, 1))
+        plan = LaunchPlan()
+        h1 = plan.product(a1, b)
+        h2 = plan.product(a2, b)
+        out = execute_plan(plan)
+        np.testing.assert_array_equal(out[h1], mma.mma_fp64_batched(a1, b))
+        np.testing.assert_array_equal(out[h2], mma.mma_fp64_batched(a2, b))
+
+    def test_mixed_shapes_not_stacked(self):
+        a1 = RNG.uniform(-2, 2, (4, 8, 4))
+        b1 = RNG.uniform(-2, 2, (4, 4, 8))
+        a2 = RNG.uniform(-2, 2, (3, 4, 4))
+        b2 = RNG.uniform(-2, 2, (3, 4, 2))
+        plan = LaunchPlan()
+        h1 = plan.product(a1, b1)
+        h2 = plan.product(a2, b2)
+        out = execute_plan(plan)
+        np.testing.assert_array_equal(out[h1], mma.mma_fp64_batched(a1, b1))
+        np.testing.assert_array_equal(out[h2], mma.mma_fp64_batched(a2, b2))
+
+    def test_product_with_accumulator_not_stacked(self):
+        a = RNG.uniform(-2, 2, (5, 8, 4))
+        b = RNG.uniform(-2, 2, (5, 4, 8))
+        c = RNG.uniform(-2, 2, (5, 8, 8))
+        plan = LaunchPlan()
+        h1 = plan.product(a, b, c)
+        h2 = plan.product(a, b)
+        out = execute_plan(plan)
+        np.testing.assert_array_equal(out[h1],
+                                      mma.mma_fp64_batched(a, b, c))
+        np.testing.assert_array_equal(out[h2], mma.mma_fp64_batched(a, b))
+
+
+class TestBitOp:
+    def test_matches_primitive(self):
+        a = RNG.integers(0, 2 ** 63, (6, 8, 2), dtype=np.uint64)
+        b = RNG.integers(0, 2 ** 63, (6, 8, 2), dtype=np.uint64)
+        plan = LaunchPlan()
+        h = plan.bit(a, b)
+        np.testing.assert_array_equal(execute_plan(plan)[h],
+                                      mma.mma_b1_batched(a, b))
+
+
+class TestSampledReplay:
+    def test_fused_sweep_emits_sampled_warp_when_traced(self):
+        events = []
+
+        class Tracer:
+            def begin_scope(self, name):
+                events.append(("begin", name))
+
+            def end_scope(self):
+                events.append(("end",))
+
+            def sync(self, label=""):
+                events.append(("sync", label))
+
+            def fragment_access(self, *a, **kw):
+                events.append(("fragment",))
+
+        tracer = Tracer()
+        warp_events.install(tracer)
+        try:
+            a = RNG.uniform(-1, 1, (2, 3, 8, 4))
+            b = RNG.uniform(-1, 1, (2, 3, 4, 8))
+            run_chain(a, b)   # fused shape (8, 12, 8): primitive won't sample
+        finally:
+            warp_events.uninstall(tracer)
+        assert any(e[0] == "fragment" for e in events), \
+            "fused sweep did not replay a sampled warp"
+
+
+def test_handles_returned_in_record_order():
+    a = RNG.uniform(-1, 1, (2, 8, 4))
+    b = RNG.uniform(-1, 1, (2, 4, 8))
+    plan = LaunchPlan()
+    handles = [plan.product(a, b) for _ in range(3)]
+    assert handles == [0, 1, 2]
+    assert len(execute_plan(plan)) == 3
+
+
+def test_unknown_op_rejected():
+    plan = LaunchPlan()
+    plan._ops.append(("bogus",))
+    with pytest.raises(ValueError, match="unknown launch op"):
+        execute_plan(plan)

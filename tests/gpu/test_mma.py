@@ -154,3 +154,57 @@ class TestBitMma:
         with pytest.raises(ValueError):
             mma.mma_b1_batched(np.zeros((8, 3), dtype=np.uint64),
                                np.zeros((8, 2), dtype=np.uint64))
+
+
+class TestPopcount:
+    def test_native_matches_swar_on_random_words(self):
+        rng = np.random.default_rng(2024)
+        words = rng.integers(0, np.iinfo(np.uint64).max, 4096,
+                             dtype=np.uint64, endpoint=True)
+        swar = mma._popcount_u64_swar(words)
+        np.testing.assert_array_equal(mma._popcount_u64(words), swar)
+        assert swar.dtype == np.int64
+
+    def test_edge_words(self):
+        words = np.array([0, 1, np.iinfo(np.uint64).max,
+                          0xAAAAAAAAAAAAAAAA, 0x8000000000000000],
+                         dtype=np.uint64)
+        expect = np.array([0, 1, 64, 32, 1], dtype=np.int64)
+        np.testing.assert_array_equal(mma._popcount_u64(words), expect)
+        np.testing.assert_array_equal(mma._popcount_u64_swar(words), expect)
+
+    def test_preserves_shape(self):
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2 ** 63, (3, 8, 2), dtype=np.uint64)
+        assert mma._popcount_u64(words).shape == (3, 8, 2)
+
+
+class TestScratchAccumulation:
+    def test_scratch_bit_identical_to_per_step_temporaries(self):
+        # the preallocated-scratch k loop must round exactly like the
+        # naive `d = d + a_k * b_k` per-step-temporary loop
+        rng = np.random.default_rng(77)
+        a = rng.uniform(-2, 2, (5, 8, 4))
+        b = rng.uniform(-2, 2, (5, 4, 8))
+        c = rng.uniform(-2, 2, (5, 8, 8))
+        d = c.copy()
+        for kk in range(4):
+            d = d + a[:, :, kk:kk + 1] * b[:, kk:kk + 1, :]
+        np.testing.assert_array_equal(mma.mma_fp64_batched(a, b, c), d)
+
+    def test_zero_k_returns_accumulator(self):
+        c = np.arange(64, dtype=np.float64).reshape(1, 8, 8)
+        d = mma.mma_fp64_batched(np.zeros((1, 8, 0)), np.zeros((1, 0, 8)), c)
+        np.testing.assert_array_equal(d, c)
+
+    def test_scratch_with_broadcast_batches(self):
+        rng = np.random.default_rng(78)
+        a = rng.uniform(-2, 2, (3, 1, 8, 4))
+        b = rng.uniform(-2, 2, (1, 4, 4, 8))
+        got = mma.mma_fp64_batched(a, b)
+        ab = np.broadcast_to(a, (3, 4, 8, 4))
+        bb = np.broadcast_to(b, (3, 4, 4, 8))
+        d = np.zeros((3, 4, 8, 8))
+        for kk in range(4):
+            d = d + ab[..., :, kk:kk + 1] * bb[..., kk:kk + 1, :]
+        np.testing.assert_array_equal(got, d)

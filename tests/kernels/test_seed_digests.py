@@ -1,0 +1,91 @@
+"""Bit-identity regression anchor for the launch-plan engine.
+
+``seed_digests.json`` records a SHA-256 digest of every workload variant's
+functional output, captured from the loop-per-tile implementations that
+predate the fused :mod:`repro.gpu.launch` engine.  The test recomputes the
+outputs through whatever execution path the kernels use today and asserts
+the digests are unchanged — i.e. the fused batched sweeps are bit-identical
+to the original per-tile chains for every workload and variant.
+
+Regenerate (only when an *intentional* numerical change lands) with::
+
+    PYTHONPATH=src:. python -c \
+        "from tests.kernels.test_seed_digests import write_digests; \
+         write_digests()"
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.sparse.csr import CsrMatrix
+
+from .conftest import small_workloads
+
+DIGEST_PATH = Path(__file__).with_name("seed_digests.json")
+
+#: case indices digested per workload (two for the sparse kernels so both a
+#: banded and a block-dense raggedness profile are pinned)
+CASE_INDICES = {"spmv": (0, 2), "spgemm": (0, 2)}
+
+
+def _update_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    h.update(arr.dtype.str.encode())
+    h.update(repr(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def _digest(obj) -> str:
+    h = hashlib.sha256()
+    if isinstance(obj, CsrMatrix):
+        h.update(b"csr")
+        h.update(repr(obj.shape).encode())
+        _update_array(h, obj.indptr)
+        _update_array(h, obj.indices)
+        _update_array(h, obj.data)
+    elif isinstance(obj, np.ndarray):
+        _update_array(h, obj)
+    else:
+        raise TypeError(f"undigestable output type {type(obj)!r}")
+    return h.hexdigest()
+
+
+def compute_digests() -> dict[str, str]:
+    """Digest every (workload, case, variant) output on the small suite."""
+    device = Device("H200")
+    out: dict[str, str] = {}
+    for w in small_workloads():
+        for ci in CASE_INDICES.get(w.name, (0,)):
+            case = w.exec_case(w.cases()[ci])
+            data = w.prepare(case)
+            for variant in w.variants():
+                result = w.execute(w.resolve_variant(variant), data, device)
+                out[f"{w.name}/{case.label}/{variant}"] = \
+                    _digest(result.output)
+    return out
+
+
+def write_digests() -> None:
+    DIGEST_PATH.write_text(json.dumps(compute_digests(), indent=2) + "\n")
+    print(f"wrote {DIGEST_PATH}")
+
+
+@pytest.fixture(scope="module")
+def recorded() -> dict[str, str]:
+    return json.loads(DIGEST_PATH.read_text())
+
+
+def test_all_outputs_bit_identical_to_seed(recorded):
+    fresh = compute_digests()
+    assert fresh.keys() == recorded.keys()
+    mismatched = [k for k in recorded if fresh[k] != recorded[k]]
+    assert not mismatched, (
+        "outputs drifted from the recorded pre-launch-engine digests: "
+        f"{mismatched}")

@@ -1,0 +1,114 @@
+"""The bench perf gate: stage-profile grouping, the regression check, and
+the ``REPRO_STAGE_JSON`` dump hook the profiler rides on."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import _group_stages, check_regression
+from repro.perf.instrument import reset_stage_timings
+
+
+def _baseline(tmp_path, benches):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"schema": 1, "benches": benches}))
+    return path
+
+
+class TestCheckRegression:
+    def test_within_tolerance_passes(self, tmp_path):
+        base = _baseline(tmp_path, {"observations": {"cold_s": 10.0}})
+        results = {"observations": {"cold_s": 12.0}}
+        assert check_regression(results, base, tolerance=0.25) == []
+
+    def test_regression_flagged(self, tmp_path):
+        base = _baseline(tmp_path, {"observations": {"cold_s": 10.0}})
+        results = {"observations": {"cold_s": 13.0}}
+        issues = check_regression(results, base, tolerance=0.25)
+        assert len(issues) == 1
+        assert "observations" in issues[0]
+        assert "12.5s" in issues[0]
+
+    def test_boundary_is_inclusive(self, tmp_path):
+        base = _baseline(tmp_path, {"b": {"cold_s": 8.0}})
+        assert check_regression({"b": {"cold_s": 10.0}}, base,
+                                tolerance=0.25) == []
+
+    def test_new_bench_without_baseline_entry_passes(self, tmp_path):
+        base = _baseline(tmp_path, {"observations": {"cold_s": 10.0}})
+        results = {"brand_new": {"cold_s": 99.0}}
+        assert check_regression(results, base) == []
+
+    def test_missing_baseline_file_is_an_issue(self, tmp_path):
+        issues = check_regression({"observations": {"cold_s": 1.0}},
+                                  tmp_path / "nope.json")
+        assert len(issues) == 1
+        assert "not found" in issues[0]
+
+    def test_improvement_passes(self, tmp_path):
+        base = _baseline(tmp_path, {"observations": {"cold_s": 10.0}})
+        assert check_regression({"observations": {"cold_s": 2.0}},
+                                base) == []
+
+
+class TestGroupStages:
+    def test_groups_by_prefix(self):
+        stages = {
+            "plan-build:gemv": {"seconds": 1.0, "calls": 3},
+            "plan-build:spmv": {"seconds": 0.5, "calls": 2},
+            "sweep-execute:gemv": {"seconds": 2.0, "calls": 3},
+            "model-resolve": {"seconds": 0.25, "calls": 40},
+            "dataset-generation": {"seconds": 4.0, "calls": 1},
+        }
+        groups = _group_stages(stages)
+        assert groups == {"plan-build": 1.5, "sweep-execute": 2.0,
+                          "model-resolve": 0.25, "other": 4.0}
+
+    def test_empty(self):
+        assert _group_stages({}) == {"plan-build": 0.0,
+                                     "sweep-execute": 0.0,
+                                     "model-resolve": 0.0, "other": 0.0}
+
+
+class TestStageJsonDump:
+    def test_cli_dumps_stage_registry(self, tmp_path, monkeypatch, capsys,
+                                      isolated_cache):
+        # empty cache: the accuracy audit actually executes the kernels,
+        # so the launch-engine stages are recorded
+        out = tmp_path / "stages.json"
+        monkeypatch.setenv("REPRO_STAGE_JSON", str(out))
+        reset_stage_timings()
+        rc = main(["accuracy", "--workload", "gemv", "--gpu", "H200"])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "model-resolve" in payload
+        assert any(name.startswith("sweep-execute:gemv")
+                   for name in payload)
+        for rec in payload.values():
+            assert rec["seconds"] >= 0.0
+            assert rec["calls"] >= 1
+
+    def test_no_dump_without_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STAGE_JSON", raising=False)
+        rc = main(["quadrants", "--workload", "gemv"])
+        assert rc == 0
+        assert not (tmp_path / "stages.json").exists()
+
+
+class TestBenchCliFlags:
+    def test_parser_accepts_gate_flags(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["bench", "--bench", "run_performance", "--profile", "--check",
+             "--tolerance", "0.3", "--baseline", "b.json"])
+        assert args.profile and args.check
+        assert args.tolerance == pytest.approx(0.3)
+        assert args.baseline == "b.json"
+
+    def test_gate_defaults(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["bench"])
+        assert args.tolerance == pytest.approx(0.25)
+        assert args.baseline == "BENCH_perf.json"
+        assert not args.profile and not args.check
