@@ -251,4 +251,6 @@ def verify_all(workloads: list[Workload] | None = None,
     ex = executor if executor is not None else ParallelExecutor(n_jobs)
     tasks = [(i, workloads, devices) for i in range(len(OBSERVATIONS))]
     with stage("analysis.verify_all"):
-        return ex.map(_run_observation, tasks, chunk_size=1)
+        return ex.map(_run_observation, tasks, chunk_size=1,
+                      labels=[f"observation {i + 1}"
+                              for i in range(len(OBSERVATIONS))])

@@ -12,6 +12,13 @@ Mirrors the artifact's shell scripts:
 * ``observations`` — the nine-observation audit
 * ``suitability``— the algorithm-level MMU predictor on a sketch
 * ``check``      — kernel lint, contract verifier, warp-hazard sanitizer
+
+Beyond the artifact, the serving stack (docs/SERVE.md):
+
+* ``serve``      — the async TCP characterization-query service
+* ``query``      — one-shot client (``--local`` runs in-process)
+* ``loadgen``    — closed-loop load generator + CI gate
+* ``cache``      — result-cache footprint: ``stats`` and LRU ``prune``
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from .gpu.specs import get_gpu
 from .harness.artifact import full_evaluation, quick_test
 from .harness.report import (
     format_seconds,
+    format_si,
     format_speedups,
     format_stage_timings,
     format_table,
@@ -215,6 +223,141 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_params(pairs: list[str]) -> dict:
+    """``k=v`` pairs; values are JSON when parseable, strings otherwise."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param wants key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _serve_config(args: argparse.Namespace):
+    from .serve import ServeConfig
+    return ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        pool_mode=args.pool, inner_jobs=args.inner_jobs,
+        max_queue_depth=args.queue_depth, rate=args.rate, burst=args.burst,
+        default_deadline_s=args.deadline,
+        batch_window_s=args.batch_window,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import CharacterizationService
+
+    config = _serve_config(args)
+
+    async def _main() -> None:
+        service = CharacterizationService(config)
+        host, port = await service.start_tcp()
+        print(f"repro serve: listening on {host}:{port} "
+              f"({service.pool.mode} pool, {config.workers} workers); "
+              f"Ctrl-C stops")
+        await service.serve_forever()
+
+    asyncio.run(_main())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .serve import ProtocolError, ServeClient
+    from .serve.server import run_query_locally
+
+    params = _parse_query_params(args.param)
+    try:
+        if args.local:
+            resp = run_query_locally(args.kind, params,
+                                     deadline_s=args.deadline,
+                                     fresh=args.fresh)
+        else:
+            with ServeClient(args.host, args.port) as client:
+                resp = client.query(args.kind, params,
+                                    deadline_s=args.deadline,
+                                    fresh=args.fresh)
+    except ProtocolError as exc:
+        print(json.dumps({"ok": False,
+                          "error": {"code": exc.code,
+                                    "message": exc.message}}, indent=2))
+        return 1
+    payload = {"ok": resp.ok, "served_by": resp.served_by,
+               "stale": resp.stale,
+               ("result" if resp.ok else "error"):
+                   resp.result if resp.ok else resp.error}
+    if args.trace and resp.trace:
+        payload["trace"] = resp.trace
+    print(json.dumps(payload, indent=None if args.compact else 2))
+    return 0 if resp.ok else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import (
+        HostedService,
+        format_loadgen_report,
+        loadgen_failures,
+        run_loadgen,
+    )
+
+    def _run(host: str, port: int) -> dict:
+        return run_loadgen(host, port, clients=args.clients,
+                           duration_s=args.duration,
+                           deadline_s=args.deadline, fresh=args.fresh)
+
+    if args.self_host:
+        config = _serve_config(args)
+        config = type(config)(**{**config.__dict__,
+                                 "host": "127.0.0.1", "port": 0})
+        with HostedService(config) as hosted:
+            host, port = hosted.address
+            summary = _run(host, port)
+    else:
+        summary = _run(args.host, args.port)
+    print(format_loadgen_report(summary))
+    failures = loadgen_failures(summary, p99_max_s=args.p99_max,
+                                min_reuse_rate=args.min_reuse)
+    for failure in failures:
+        print(f"LOADGEN GATE: {failure}")
+    if not failures:
+        print("loadgen gate: ok")
+    return 1 if failures else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .perf.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, max_disk_bytes=args.max_bytes)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        rows = [[kind, n, format_si(float(b), "B")]
+                for kind, (n, b) in stats.kinds.items()]
+        rows.append(["total", stats.total_entries,
+                     format_si(float(stats.total_bytes), "B")])
+        cap = "unbounded" if stats.max_disk_bytes is None \
+            else format_si(float(stats.max_disk_bytes), "B")
+        print(format_table(["kind", "entries", "bytes"], rows,
+                           title=f"result cache at {stats.directory} "
+                                 f"(cap: {cap})"))
+        return 0
+    # prune
+    if cache.max_disk_bytes is None:
+        print("no cap: pass --max-bytes or set REPRO_CACHE_MAX_BYTES")
+        return 1
+    result = cache.prune()
+    print(f"pruned {result.removed_entries} entries "
+          f"({format_si(float(result.removed_bytes), 'B')}); "
+          f"{result.remaining_entries} entries "
+          f"({format_si(float(result.remaining_bytes), 'B')}) remain")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -304,6 +447,95 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--gpu", nargs="+", default=["H200"])
         p.set_defaults(fn=fn)
 
+    def add_serve_opts(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7341)
+        p.add_argument("--workers", type=int, default=2,
+                       help="model pool size (default: 2)")
+        p.add_argument("--pool", choices=("process", "thread"),
+                       default="process",
+                       help="model pool kind (process pools degrade to "
+                            "threads automatically where unavailable)")
+        p.add_argument("--inner-jobs", type=int, default=1,
+                       help="ParallelExecutor jobs inside one (batched) "
+                            "perf grid evaluation")
+        p.add_argument("--queue-depth", type=int, default=64,
+                       help="max distinct in-flight model jobs")
+        p.add_argument("--rate", type=float, default=None,
+                       help="global queries/second (default: unlimited)")
+        p.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst (default: max(rate, 1))")
+        p.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-query deadline, seconds")
+        p.add_argument("--batch-window", type=float, default=0.005,
+                       help="perf-query batching window, seconds")
+        p.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures that trip a kind's "
+                            "circuit breaker")
+        p.add_argument("--breaker-cooldown", type=float, default=10.0,
+                       help="seconds an open breaker waits before its "
+                            "half-open probe")
+
+    p = sub.add_parser("serve",
+                       help="TCP characterization-query service "
+                            "(docs/SERVE.md)")
+    add_serve_opts(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="one query against a server (or --local)")
+    p.add_argument("kind",
+                   help="query kind: perf, quadrant, accuracy, edp, "
+                        "roofline, whatif, observations, metrics, ping")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="query parameter (value parsed as JSON when "
+                        "possible), e.g. --param workload=gemv or "
+                        "--param 'workloads=[\"gemv\",\"spmv\"]'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7341)
+    p.add_argument("--local", action="store_true",
+                   help="serve in-process instead of over TCP")
+    p.add_argument("--deadline", type=float, default=None)
+    p.add_argument("--fresh", action="store_true",
+                   help="bypass the served-result cache")
+    p.add_argument("--trace", action="store_true",
+                   help="include the pipeline trace spans")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON output")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("loadgen",
+                       help="closed-loop load generator "
+                            "(non-zero exit on any protocol error)")
+    add_serve_opts(p)
+    p.add_argument("--self-host", action="store_true",
+                   help="boot a server in-process on an ephemeral port "
+                        "and drive that")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="seconds of closed-loop load")
+    p.add_argument("--fresh", action="store_true",
+                   help="bypass the served-result cache (saturation mode)")
+    p.add_argument("--p99-max", type=float, default=None,
+                   help="fail when p99 latency exceeds this bound, "
+                        "seconds")
+    p.add_argument("--min-reuse", type=float, default=None,
+                   help="fail when the coalesce-or-cache rate is below "
+                        "this fraction")
+    p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser("cache",
+                       help="result-cache footprint: stats and LRU prune")
+    p.add_argument("cache_command", choices=("stats", "prune"))
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="size cap for prune (default: "
+                        "REPRO_CACHE_MAX_BYTES)")
+    p.set_defaults(fn=cmd_cache)
+
     p = sub.add_parser("suitability",
                        help="predict MMU benefit from an algorithm sketch")
     p.add_argument("--name", default="custom-kernel")
@@ -326,7 +558,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    rc = args.fn(args)
+    try:
+        rc = args.fn(args)
+    except KeyboardInterrupt:
+        # worker pools re-raise a clean KeyboardInterrupt after
+        # cancelling pending chunks (perf.executor); no tracebacks
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro query ... | head`); exit quietly
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141  # 128 + SIGPIPE
     if getattr(args, "timings", False):
         print()
         print(format_stage_timings(stage_timings()))

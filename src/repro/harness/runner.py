@@ -63,7 +63,12 @@ def _workload_records(task: tuple[Workload, list[Device]]
     per_device: list[list[PerfRecord]] = [[] for _ in devices]
     for case in w.cases():
         for variant in w.variants():
-            stats = w.analytic_stats(variant, case)
+            try:
+                stats = w.analytic_stats(variant, case)
+            except Exception as exc:
+                raise RuntimeError(
+                    f"analytic_stats failed for {w.name} "
+                    f"[{variant.value}/{case.label}]") from exc
             intensity = stats.arithmetic_intensity()
             for out, dev in zip(per_device, devices):
                 r = dev.resolve(stats)
@@ -102,7 +107,8 @@ def run_performance(workloads: list[Workload] | None = None,
     with stage("harness.run_performance"):
         per_workload = ex.map(_workload_records,
                               [(w, devices) for w in workloads],
-                              chunk_size=1)
+                              chunk_size=1,
+                              labels=[w.name for w in workloads])
     records: list[PerfRecord] = []
     for di in range(len(devices)):
         for wi in range(len(workloads)):

@@ -21,16 +21,19 @@ wall-clock into ``BENCH_perf.json`` for the perf trajectory across PRs.
 
 from .cache import (
     CacheStats,
+    DiskStats,
+    PruneResult,
     ResultCache,
     cache_enabled,
     content_key,
     default_cache,
     default_cache_dir,
+    default_max_disk_bytes,
     package_source_token,
     set_default_cache,
     source_token,
 )
-from .executor import ParallelExecutor, resolve_n_jobs
+from .executor import ParallelExecutor, WorkerTaskError, resolve_n_jobs
 from .instrument import (
     StageTiming,
     record_stage,
@@ -41,15 +44,19 @@ from .instrument import (
 
 __all__ = [
     "CacheStats",
+    "DiskStats",
+    "PruneResult",
     "ResultCache",
     "cache_enabled",
     "content_key",
     "default_cache",
     "default_cache_dir",
+    "default_max_disk_bytes",
     "package_source_token",
     "set_default_cache",
     "source_token",
     "ParallelExecutor",
+    "WorkerTaskError",
     "resolve_n_jobs",
     "StageTiming",
     "record_stage",

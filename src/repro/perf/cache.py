@@ -38,11 +38,14 @@ import numpy as np
 
 __all__ = [
     "CacheStats",
+    "DiskStats",
+    "PruneResult",
     "ResultCache",
     "cache_enabled",
     "content_key",
     "default_cache",
     "default_cache_dir",
+    "default_max_disk_bytes",
     "package_source_token",
     "set_default_cache",
     "source_token",
@@ -67,6 +70,27 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro"
+
+
+def default_max_disk_bytes() -> int | None:
+    """On-disk size cap from ``REPRO_CACHE_MAX_BYTES`` (None = unbounded).
+
+    Accepts a plain byte count or a ``K``/``M``/``G`` suffix; ``0`` and
+    unparseable values mean unbounded.
+    """
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip().lower()
+    if not env:
+        return None
+    scale = 1
+    for suffix, s in (("k", 1 << 10), ("m", 1 << 20), ("g", 1 << 30)):
+        if env.endswith(suffix):
+            env, scale = env[:-1], s
+            break
+    try:
+        cap = int(float(env) * scale)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
 
 
 # ------------------------------------------------------------------ hashing
@@ -185,6 +209,28 @@ def package_source_token() -> str:
 
 # ------------------------------------------------------------------ store
 
+@dataclass(frozen=True)
+class DiskStats:
+    """On-disk footprint of one cache directory."""
+
+    directory: str
+    total_entries: int
+    total_bytes: int
+    #: per-kind (subdirectory) entry and byte counts
+    kinds: dict[str, tuple[int, int]]
+    max_disk_bytes: int | None
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one LRU pruning pass."""
+
+    removed_entries: int
+    removed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`ResultCache`."""
@@ -211,13 +257,21 @@ class ResultCache:
     ``os.replace``) so concurrent processes never observe partial entries.
     """
 
+    #: prune at most once per this many disk writes (keeps the directory
+    #: scan off the per-entry hot path)
+    PRUNE_EVERY = 16
+
     def __init__(self, directory: str | Path | None = None, *,
-                 memory_items: int = 512, disk: bool | None = None) -> None:
+                 memory_items: int = 512, disk: bool | None = None,
+                 max_disk_bytes: int | None = None) -> None:
         self.directory = Path(directory) if directory is not None \
             else default_cache_dir()
         self.disk = cache_enabled() if disk is None else disk
         self.memory_items = memory_items
+        self.max_disk_bytes = max_disk_bytes if max_disk_bytes is not None \
+            else default_max_disk_bytes()
         self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._writes_since_prune = 0
         self.stats = CacheStats()
 
     # -------------------------------------------------------------- tiers
@@ -235,12 +289,17 @@ class ResultCache:
             return False, None
         try:
             with open(path, "rb") as fh:
-                return True, pickle.load(fh)
+                value = pickle.load(fh)
         except FileNotFoundError:
             return False, None
         except Exception:  # truncated/corrupt entry: recompute
             self.stats.load_errors += 1
             return False, None
+        try:
+            os.utime(path)  # refresh mtime: the LRU recency for pruning
+        except OSError:  # pragma: no cover - read-only store
+            pass
+        return True, value
 
     def _disk_store(self, path: Path, value: Any) -> None:
         if not self.disk:
@@ -256,7 +315,12 @@ class ResultCache:
                 os.unlink(tmp)
                 raise
         except (OSError, pickle.PicklingError):
-            pass  # unwritable/unpicklable: caching is best-effort
+            return  # unwritable/unpicklable: caching is best-effort
+        if self.max_disk_bytes is not None:
+            self._writes_since_prune += 1
+            if self._writes_since_prune >= self.PRUNE_EVERY:
+                self._writes_since_prune = 0
+                self.prune()
 
     # ---------------------------------------------------------------- API
     def get_or_compute(self, kind: str, key: str,
@@ -282,6 +346,65 @@ class ResultCache:
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier is untouched)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------- pruning
+    def _disk_entries(self) -> list[tuple[Path, int, float]]:
+        """Every on-disk entry as (path, size, mtime); best-effort."""
+        entries = []
+        if not self.directory.is_dir():
+            return entries
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            entries.append((path, st.st_size, st.st_mtime))
+        return entries
+
+    def disk_stats(self) -> DiskStats:
+        """Size and entry counts of the on-disk tier, per kind."""
+        kinds: dict[str, tuple[int, int]] = {}
+        total_entries = total_bytes = 0
+        for path, size, _ in self._disk_entries():
+            kind = path.parent.name
+            n, b = kinds.get(kind, (0, 0))
+            kinds[kind] = (n + 1, b + size)
+            total_entries += 1
+            total_bytes += size
+        return DiskStats(directory=str(self.directory),
+                         total_entries=total_entries,
+                         total_bytes=total_bytes,
+                         kinds=dict(sorted(kinds.items())),
+                         max_disk_bytes=self.max_disk_bytes)
+
+    def prune(self, max_bytes: int | None = None) -> PruneResult:
+        """Evict least-recently-used entries until the store fits.
+
+        Recency is the entry's mtime, refreshed on every disk hit, so
+        eviction order approximates true LRU across processes.  With no
+        cap configured and no ``max_bytes`` given this is a no-op.
+        """
+        cap = self.max_disk_bytes if max_bytes is None else max_bytes
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        removed_entries = removed_bytes = 0
+        if cap is not None:
+            for path, size, _ in sorted(entries, key=lambda e: e[2]):
+                if total <= cap:
+                    break
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                total -= size
+                removed_entries += 1
+                removed_bytes += size
+        return PruneResult(
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            remaining_entries=len(entries) - removed_entries,
+            remaining_bytes=total,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ResultCache({str(self.directory)!r}, disk={self.disk}, "

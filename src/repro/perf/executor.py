@@ -16,14 +16,30 @@ from __future__ import annotations
 
 import math
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ParallelExecutor", "resolve_n_jobs"]
+__all__ = ["ParallelExecutor", "WorkerTaskError", "resolve_n_jobs"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class WorkerTaskError(RuntimeError):
+    """A task failed inside a worker, annotated with which one.
+
+    A bare exception crossing the process boundary loses all context about
+    *which* grid point died; this wrapper names the failing item (the
+    workload/variant label the caller supplied) and carries the worker-side
+    traceback in the message.  Single string argument so it pickles
+    losslessly back to the parent.
+    """
+
+    @property
+    def label(self) -> str:
+        return str(self.args[0]).split(":", 1)[0] if self.args else ""
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
@@ -48,9 +64,20 @@ def _chunk_bounds(n_items: int, chunk_size: int) -> list[tuple[int, int]]:
             for lo in range(0, n_items, chunk_size)]
 
 
-def _run_chunk(payload: tuple[Callable[[T], R], list[T]]) -> list[R]:
-    fn, chunk = payload
-    return [fn(item) for item in chunk]
+def _run_chunk(payload: tuple[Callable[[T], R], list[T], list[str] | None]
+               ) -> list[R]:
+    fn, chunk, labels = payload
+    out: list[R] = []
+    for i, item in enumerate(chunk):
+        try:
+            out.append(fn(item))
+        except Exception as exc:
+            label = labels[i] if labels else f"item {i}"
+            raise WorkerTaskError(
+                f"{label}: {type(exc).__name__}: {exc}\n"
+                f"--- worker traceback ---\n{traceback.format_exc()}"
+            ) from exc
+    return out
 
 
 class ParallelExecutor:
@@ -63,31 +90,57 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Iterable[T], *,
-            chunk_size: int | None = None) -> list[R]:
+            chunk_size: int | None = None,
+            labels: Sequence[str] | Callable[[T], str] | None = None
+            ) -> list[R]:
         """``[fn(x) for x in items]``, fanned out across processes.
 
         Results are returned in input order regardless of completion
-        order.  A worker exception propagates to the caller; a broken
-        pool (e.g. a sandbox that forbids subprocesses) degrades to the
-        in-process path rather than failing the evaluation.
+        order.  A worker exception propagates as :class:`WorkerTaskError`
+        naming the failing item (``labels`` — a string per item or a
+        callable applied in the parent — gives the name; the index is
+        used otherwise); a broken pool (e.g. a sandbox that forbids
+        subprocesses) degrades to the in-process path rather than
+        failing the evaluation.  ``KeyboardInterrupt`` cancels pending
+        chunks and re-raises cleanly instead of dumping a pool traceback.
         """
         items = list(items)
+        if callable(labels):
+            labels = [labels(item) for item in items]
+        elif labels is not None:
+            labels = list(labels)
+            if len(labels) != len(items):
+                raise ValueError(
+                    f"{len(labels)} labels for {len(items)} items")
         workers = min(self.n_jobs, len(items))
         if workers <= 1:
-            return [fn(item) for item in items]
+            return _run_chunk((fn, items, labels))
         size = chunk_size or self.chunk_size
         if size is None:
             # a few chunks per worker bounds imbalance without flooding
             # the pool with tiny tasks
             size = max(1, math.ceil(len(items) / (4 * workers)))
         bounds = _chunk_bounds(len(items), size)
+        pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_chunk, (fn, items[lo:hi]))
-                           for lo, hi in bounds]
-                chunks = [f.result() for f in futures]
+            futures = [
+                pool.submit(_run_chunk,
+                            (fn, items[lo:hi],
+                             labels[lo:hi] if labels else None))
+                for lo, hi in bounds]
+            chunks = [f.result() for f in futures]
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise KeyboardInterrupt(
+                "interrupted; cancelled pending worker chunks") from None
         except (BrokenProcessPool, OSError):
-            return [fn(item) for item in items]
+            pool.shutdown(wait=False, cancel_futures=True)
+            return _run_chunk((fn, items, labels))
+        except BaseException:
+            # a worker failure: don't hang on the remaining chunks
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
         out: list[R] = []
         for chunk in chunks:
             out.extend(chunk)
@@ -96,9 +149,12 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     def starmap(self, fn: Callable[..., R],
                 items: Iterable[Sequence[Any]], *,
-                chunk_size: int | None = None) -> list[R]:
+                chunk_size: int | None = None,
+                labels: Sequence[str] | Callable[[Sequence[Any]], str]
+                | None = None) -> list[R]:
         """Like :meth:`map` but unpacks each item as ``fn(*item)``."""
-        return self.map(_Star(fn), items, chunk_size=chunk_size)
+        return self.map(_Star(fn), items, chunk_size=chunk_size,
+                        labels=labels)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(n_jobs={self.n_jobs})"

@@ -1,0 +1,80 @@
+"""``repro.serve`` — the async characterization-query service.
+
+The batch CLI answers the paper's questions once per invocation; this
+subsystem serves them continuously: a JSON-lines request/response
+protocol over typed query kinds (``perf``, ``quadrant``, ``accuracy``,
+``edp``, ``roofline``, ``whatif``, ``observations``, plus service-level
+``metrics``/``ping``), an asyncio pipeline that coalesces identical
+in-flight queries by content key, batches compatible perf queries into
+one :class:`~repro.perf.executor.ParallelExecutor` submission, and runs
+model work on a bounded process pool; admission control (queue-depth
+cap, token-bucket rate limiting, per-kind circuit breakers degrading to
+last-good answers marked stale); and per-request trace spans with
+rolling latency histograms exported as a ``metrics`` snapshot.
+
+Entry points: ``repro serve`` (TCP server), ``repro query`` (one-shot
+client, ``--local`` for in-process), ``repro loadgen`` (closed-loop load
+harness).  Protocol and degradation semantics: docs/SERVE.md.
+"""
+
+from .admission import AdmissionController, CircuitBreaker, TokenBucket
+from .client import InProcessClient, ServeClient
+from .loadgen import (
+    DEFAULT_MIX,
+    HostedService,
+    format_loadgen_report,
+    loadgen_failures,
+    run_loadgen,
+)
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QUERY_KINDS,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    normalize_params,
+)
+from .queries import resolve_perf_batch, resolve_query
+from .scheduler import ModelPool, Scheduler, query_key
+from .server import CharacterizationService, ServeConfig, run_query_locally
+from .telemetry import RollingHistogram, Telemetry, Trace
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "TokenBucket",
+    "InProcessClient",
+    "ServeClient",
+    "DEFAULT_MIX",
+    "HostedService",
+    "format_loadgen_report",
+    "loadgen_failures",
+    "run_loadgen",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUERY_KINDS",
+    "Request",
+    "Response",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "normalize_params",
+    "resolve_perf_batch",
+    "resolve_query",
+    "ModelPool",
+    "Scheduler",
+    "query_key",
+    "CharacterizationService",
+    "ServeConfig",
+    "run_query_locally",
+    "RollingHistogram",
+    "Telemetry",
+    "Trace",
+]

@@ -1,0 +1,175 @@
+"""Admission control and robustness: queue cap, rate limit, breakers.
+
+Three independent gates decide whether a request may start new model
+work, checked in this order by the server:
+
+1. a **token bucket** rate limiter (global queries-per-second with a
+   burst allowance; ``rate=None`` disables it),
+2. a **queue-depth cap** on distinct in-flight model jobs — joining an
+   in-flight job (coalescing) or hitting the served-result cache is
+   always admitted since it adds no work,
+3. a per-query-kind **circuit breaker**: ``failure_threshold``
+   consecutive model failures (errors or deadline overruns) trip it open
+   for ``cooldown_s``; while open, requests degrade to the last-good
+   cached answer (marked stale) or fail fast with ``circuit_open``.
+   After the cooldown one half-open probe is let through — success
+   closes the breaker, failure re-opens it.
+
+Deadlines themselves are enforced by the server with
+``asyncio.wait_for`` around a *shielded* shared future, so one client's
+timeout never cancels work other clients are coalesced onto.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .telemetry import Telemetry
+
+__all__ = ["AdmissionController", "CircuitBreaker", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float | None = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(rate, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open -> closed, per query kind."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 10.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a request start model work right now?"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = self.HALF_OPEN
+                self._probe_inflight = True
+                return True
+            return False
+        # half-open: exactly one probe at a time
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._probe_inflight = False
+        self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self._probe_inflight = False
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self._failures = 0
+        self._opened_at = self._clock()
+
+
+class AdmissionController:
+    """The server's gatekeeper; owns the bucket and per-kind breakers."""
+
+    def __init__(self, *, max_queue_depth: int = 64,
+                 rate: float | None = None, burst: float | None = None,
+                 breaker_threshold: int = 5, breaker_cooldown_s: float = 10.0,
+                 telemetry: Telemetry | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._clock = clock
+        self._bucket = TokenBucket(rate, burst, clock=clock) \
+            if rate is not None else None
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------- gates
+    def try_rate(self) -> bool:
+        """Gate 1: token bucket (True when disabled)."""
+        if self._bucket is None:
+            return True
+        ok = self._bucket.try_acquire()
+        if not ok:
+            self.telemetry.inc("rejected_rate_total")
+        return ok
+
+    def try_depth(self, inflight: int) -> bool:
+        """Gate 2: may a NEW model job start, given current in-flight?"""
+        ok = inflight < self.max_queue_depth
+        if not ok:
+            self.telemetry.inc("rejected_depth_total")
+        return ok
+
+    def breaker(self, kind: str) -> CircuitBreaker:
+        b = self._breakers.get(kind)
+        if b is None:
+            b = self._breakers[kind] = CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown_s,
+                clock=self._clock)
+        return b
+
+    def allow_model(self, kind: str) -> bool:
+        """Gate 3: is the breaker for this kind letting work through?"""
+        allowed = self.breaker(kind).allow()
+        if not allowed:
+            self.telemetry.inc("breaker_blocked_total")
+        self._export_states()
+        return allowed
+
+    def record_result(self, kind: str, ok: bool) -> None:
+        """Model outcome feedback (deadline overruns count as failures)."""
+        b = self.breaker(kind)
+        if ok:
+            b.record_success()
+        else:
+            b.record_failure()
+            self.telemetry.inc("model_failures_total")
+        self._export_states()
+
+    def _export_states(self) -> None:
+        self.telemetry.gauge(
+            "breaker_states",
+            {k: b.state for k, b in sorted(self._breakers.items())})

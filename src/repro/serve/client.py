@@ -1,0 +1,117 @@
+"""Clients for the characterization-query service.
+
+:class:`ServeClient` is the blocking TCP JSON-lines client the CLI and
+load generator use — stdlib sockets only, one connection, sequential
+queries.  :class:`InProcessClient` wraps a
+:class:`~repro.serve.server.CharacterizationService` directly for
+embedding the service into another asyncio program (or test) without a
+socket in between.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from .protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    decode_response,
+    encode_request,
+    normalize_params,
+)
+
+__all__ = ["InProcessClient", "ServeClient"]
+
+
+class ServeClient:
+    """Blocking TCP client: one JSON line out, one JSON line back."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341, *,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._counter = 0
+
+    # ------------------------------------------------------------ plumbing
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout_s)
+        self._sock = sock
+        self._file = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- query
+    def query(self, kind: str, params: Mapping[str, Any] | None = None, *,
+              deadline_s: float | None = None, fresh: bool = False,
+              id: str | None = None) -> Response:
+        """Send one query and block for its response.
+
+        Raises :class:`ProtocolError` on transport failure (closed
+        connection, unparseable reply); a server-side error comes back as
+        a normal ``ok: false`` response for the caller to inspect.
+        """
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        if id is None:
+            self._counter += 1
+            id = f"c{self._counter}"
+        req = Request(kind=kind,
+                      params=normalize_params(kind, params),
+                      id=id, deadline_s=deadline_s, fresh=fresh)
+        try:
+            self._sock.sendall(encode_request(req).encode())
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ProtocolError("bad_request",
+                                f"transport failure: {exc}") from exc
+        if not line:
+            self.close()
+            raise ProtocolError("bad_request",
+                                "server closed the connection")
+        return decode_response(line)
+
+
+class InProcessClient:
+    """Async client bound directly to a service instance (no socket)."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._counter = 0
+
+    async def query(self, kind: str,
+                    params: Mapping[str, Any] | None = None, *,
+                    deadline_s: float | None = None,
+                    fresh: bool = False) -> Response:
+        self._counter += 1
+        req = Request(kind=kind, params=normalize_params(kind, params),
+                      id=f"p{self._counter}", deadline_s=deadline_s,
+                      fresh=fresh)
+        return await self.service.handle(req)

@@ -1,0 +1,280 @@
+"""Closed-loop load generator for the characterization service.
+
+``repro loadgen`` drives N blocking clients (threads, one TCP connection
+each) against a running server for a fixed duration.  Each client loops:
+pick a query from the mix (deterministic per-client LCG, the repo's
+fixed-seed discipline), send it, record the latency and how it was
+served.  The run summary reports throughput, latency percentiles, the
+reuse rate (answers served by coalescing, the served-result cache, or a
+stale degrade — the "no new model work" fraction), and every protocol
+error observed; the CLI turns errors or a p99 bound violation into a
+non-zero exit so CI can gate on it.
+
+``--self-host`` boots the full TCP service on an ephemeral port inside
+this process (event loop on a background thread) and aims the clients at
+it — the zero-setup smoke mode CI uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Mapping, Sequence
+
+from .client import ServeClient
+from .protocol import ProtocolError
+from .server import CharacterizationService, ServeConfig
+
+__all__ = ["DEFAULT_MIX", "HostedService", "format_loadgen_report",
+           "loadgen_failures", "run_loadgen"]
+
+#: the repeated-query workload: the questions a practitioner actually
+#: asks before an MMU port, all answerable from the analytic model
+DEFAULT_MIX: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("quadrant", {"workload": "gemv"}),
+    ("quadrant", {"workload": "spmv"}),
+    ("perf", {"workloads": ["gemv"], "gpus": ["A100"]}),
+    ("perf", {"workloads": ["scan"], "gpus": ["H200"]}),
+    ("roofline", {"workloads": ["reduction"], "gpu": "H200"}),
+    ("edp", {"workload": "reduction", "gpu": "H200"}),
+    ("whatif", {"base": "B200", "scales": {"tc_fp64": 2.0},
+                "workloads": ["gemm"]}),
+)
+
+
+class HostedService:
+    """A full TCP service on a background thread (ephemeral port).
+
+    The event loop, service, pool, and scheduler all live on the thread;
+    ``address`` is valid once the context manager enters.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None \
+            else ServeConfig(port=0, pool_mode="thread")
+        self.service: CharacterizationService | None = None
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.service = CharacterizationService(self.config)
+            self.address = loop.run_until_complete(self.service.start_tcp())
+        except BaseException as exc:  # surface bind failures to the caller
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.service.stop())
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-host")
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None, "service failed to start"
+        return self.address
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "HostedService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class _ClientStats:
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.served_by: dict[str, int] = {}
+        self.kinds: dict[str, int] = {}
+        self.errors: list[str] = []
+
+
+def _lcg(seed: int):
+    """The repo's deterministic LCG discipline, as a picker stream."""
+    state = (seed * 2654435761 + 1013904223) & 0xFFFFFFFF
+    while True:
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        yield state >> 8
+
+
+def _client_loop(index: int, host: str, port: int, t_end: float,
+                 mix: Sequence[tuple[str, Mapping[str, Any]]],
+                 deadline_s: float | None, fresh: bool,
+                 barrier: threading.Barrier, out: _ClientStats) -> None:
+    picks = _lcg(index)
+    try:
+        barrier.wait(timeout=30)
+    except threading.BrokenBarrierError:  # pragma: no cover - peer died
+        return
+    try:
+        with ServeClient(host, port) as client:
+            while time.monotonic() < t_end:
+                kind, params = mix[next(picks) % len(mix)]
+                t0 = time.perf_counter()
+                try:
+                    resp = client.query(kind, params,
+                                        deadline_s=deadline_s, fresh=fresh)
+                except ProtocolError as exc:
+                    out.errors.append(f"{kind}: [{exc.code}] {exc.message}")
+                    return
+                out.latencies.append(time.perf_counter() - t0)
+                out.kinds[kind] = out.kinds.get(kind, 0) + 1
+                if resp.ok:
+                    out.served_by[resp.served_by] = \
+                        out.served_by.get(resp.served_by, 0) + 1
+                else:
+                    err = resp.error or {}
+                    out.errors.append(
+                        f"{kind}: [{err.get('code', '?')}] "
+                        f"{err.get('message', '')}")
+    except (OSError, ProtocolError) as exc:
+        out.errors.append(f"client {index}: {exc}")
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = max(int(q * len(ordered) + 0.999999), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def run_loadgen(host: str, port: int, *, clients: int = 8,
+                duration_s: float = 10.0,
+                mix: Sequence[tuple[str, Mapping[str, Any]]] = DEFAULT_MIX,
+                deadline_s: float | None = None,
+                fresh: bool = False) -> dict[str, Any]:
+    """Drive the server and summarize the run (see module docstring)."""
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    stats = [_ClientStats() for _ in range(clients)]
+    barrier = threading.Barrier(clients + 1)
+    t_end = time.monotonic() + duration_s
+    threads = [
+        threading.Thread(target=_client_loop,
+                         args=(i, host, port, t_end, mix, deadline_s,
+                               fresh, barrier, stats[i]),
+                         name=f"repro-loadgen-{i}", daemon=True)
+        for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=30)
+    t0 = time.monotonic()
+    for t in threads:
+        t.join(timeout=duration_s + 60)
+    wall = time.monotonic() - t0
+
+    latencies = sorted(x for s in stats for x in s.latencies)
+    errors = [e for s in stats for e in s.errors]
+    served_by: dict[str, int] = {}
+    kinds: dict[str, int] = {}
+    for s in stats:
+        for k, v in s.served_by.items():
+            served_by[k] = served_by.get(k, 0) + v
+        for k, v in s.kinds.items():
+            kinds[k] = kinds.get(k, 0) + v
+    total = len(latencies)
+    reused = sum(served_by.get(k, 0)
+                 for k in ("cache", "coalesced", "stale"))
+
+    metrics: dict[str, Any] | None = None
+    try:
+        with ServeClient(host, port) as client:
+            resp = client.query("metrics")
+            if resp.ok:
+                metrics = resp.result
+    except (OSError, ProtocolError):  # pragma: no cover - server gone
+        pass
+
+    return {
+        "clients": clients,
+        "duration_s": wall,
+        "requests": total,
+        "errors": len(errors),
+        "error_samples": errors[:8],
+        "throughput_qps": (total / wall) if wall > 0 else 0.0,
+        "reuse_rate": (reused / total) if total else 0.0,
+        "served_by": dict(sorted(served_by.items())),
+        "kinds": dict(sorted(kinds.items())),
+        "latency": {
+            "p50_s": _percentile(latencies, 0.50),
+            "p95_s": _percentile(latencies, 0.95),
+            "p99_s": _percentile(latencies, 0.99),
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+        "server_metrics": metrics,
+    }
+
+
+def loadgen_failures(summary: Mapping[str, Any],
+                     p99_max_s: float | None = None,
+                     min_reuse_rate: float | None = None) -> list[str]:
+    """The CI gate: reasons this run should fail the build."""
+    failures = []
+    if summary["requests"] == 0:
+        failures.append("no requests completed")
+    if summary["errors"]:
+        failures.append(
+            f"{summary['errors']} protocol error(s), e.g. "
+            f"{summary['error_samples'][:1]}")
+    if p99_max_s is not None \
+            and summary["latency"]["p99_s"] > p99_max_s:
+        failures.append(
+            f"p99 {summary['latency']['p99_s']:.3f}s exceeds bound "
+            f"{p99_max_s:.3f}s")
+    if min_reuse_rate is not None \
+            and summary["reuse_rate"] < min_reuse_rate:
+        failures.append(
+            f"reuse rate {summary['reuse_rate']:.2%} below "
+            f"{min_reuse_rate:.2%}")
+    return failures
+
+
+def format_loadgen_report(summary: Mapping[str, Any]) -> str:
+    """Human-readable run summary for the CLI."""
+    from ..harness.report import format_table
+
+    lat = summary["latency"]
+    rows = [
+        ["clients", summary["clients"]],
+        ["duration", f"{summary['duration_s']:.2f} s"],
+        ["requests", summary["requests"]],
+        ["errors", summary["errors"]],
+        ["throughput", f"{summary['throughput_qps']:.1f} q/s"],
+        ["reuse rate", f"{summary['reuse_rate']:.2%}"],
+        ["p50 / p95 / p99",
+         f"{lat['p50_s'] * 1e3:.2f} / {lat['p95_s'] * 1e3:.2f} / "
+         f"{lat['p99_s'] * 1e3:.2f} ms"],
+        ["max latency", f"{lat['max_s'] * 1e3:.2f} ms"],
+    ]
+    for served, count in summary["served_by"].items():
+        rows.append([f"served by {served}", count])
+    return format_table(["metric", "value"], rows,
+                        title="loadgen: closed-loop run summary")

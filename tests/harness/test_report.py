@@ -1,0 +1,85 @@
+"""Tests for the text report helpers the figure regenerators print
+through."""
+
+import pytest
+
+from repro.harness.report import (
+    format_seconds,
+    format_si,
+    format_speedups,
+    format_stage_timings,
+    format_table,
+)
+from repro.perf.instrument import StageTiming
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize("value,expected", [
+        (1_234_567.0, "1.23 MFLOP/s"),
+        (2.5e9, "2.5 GFLOP/s"),
+        (9.87e12, "9.87 TFLOP/s"),
+        (1500.0, "1.5 KFLOP/s"),
+    ])
+    def test_engineering_prefixes(self, value, expected):
+        assert format_si(value, "FLOP/s") == expected
+
+    def test_small_values_unprefixed(self):
+        assert format_si(12.0, "B") == "12 B"
+        assert format_si(0.5) == "0.5"
+
+    def test_negative_values_keep_prefix(self):
+        assert format_si(-2e6, "B") == "-2 MB"
+
+
+class TestFormatSeconds:
+    def test_unit_ladder(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0042) == "4.200 ms"
+        assert format_seconds(3.7e-6) == "3.70 us"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "v"], [["gemv", 1], ["bfs", 22]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # columns padded to the widest cell
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_no_title_omits_line(self):
+        out = format_table(["a"], [["x"]])
+        assert out.splitlines()[0] == "a"
+
+
+class TestFormatStageTimings:
+    def test_sorted_by_wall_with_shares(self):
+        timings = [StageTiming(name="fast", seconds=1.0, calls=2),
+                   StageTiming(name="slow", seconds=3.0, calls=1)]
+        out = format_stage_timings(timings)
+        lines = out.splitlines()
+        assert lines[0] == "Pipeline stage timings"
+        assert lines.index([ln for ln in lines if "slow" in ln][0]) < \
+            lines.index([ln for ln in lines if "fast" in ln][0])
+        assert "75%" in out and "25%" in out
+
+    def test_zero_total_has_no_share(self):
+        out = format_stage_timings(
+            [StageTiming(name="idle", seconds=0.0, calls=1)])
+        assert "-" in out.splitlines()[-1]
+
+
+class TestFormatSpeedups:
+    def test_grouped_by_workload_with_gpu_columns(self):
+        speedups = {("A100", "gemm"): 2.0, ("H200", "gemm"): 3.5,
+                    ("A100", "scan"): 1.0}
+        out = format_speedups(speedups, title="TC vs baseline")
+        lines = out.splitlines()
+        assert lines[0] == "TC vs baseline"
+        assert "A100" in lines[1] and "H200" in lines[1]
+        gemm_row = next(ln for ln in lines if ln.startswith("gemm"))
+        assert "2.00x" in gemm_row and "3.50x" in gemm_row
+        scan_row = next(ln for ln in lines if ln.startswith("scan"))
+        assert "nanx" in scan_row           # missing (H200, scan) cell

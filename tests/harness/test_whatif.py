@@ -61,6 +61,49 @@ class TestEvaluateWhatif:
         assert r.speedup == pytest.approx(1.0)
 
 
+class TestWhatifRunnerIdentity:
+    def test_base_times_match_runner_records_exactly(self):
+        """A what-if answer is anchored to the same numbers the perf
+        runner reports: base_time_s must equal the PerfRecord time_s of
+        the representative case, bit for bit (both are the TimingModel's
+        breakdown total)."""
+        from repro.gpu.device import Device
+        from repro.harness.runner import run_performance
+
+        workloads = [GemmWorkload(), GemvWorkload(), ScanWorkload()]
+        identity = hypothetical("H200", name="H200-identity")
+        whatifs = evaluate_whatif(workloads, "H200", identity, Variant.TC)
+        records = run_performance(workloads, [Device("H200")], n_jobs=1)
+        by_key = {(r.workload, r.variant, r.case): r.time_s
+                  for r in records}
+        assert len(whatifs) == len(workloads)
+        for w, res in zip(workloads, whatifs):
+            case = w.representative_case().label
+            assert res.base_time_s == by_key[(res.workload, res.variant,
+                                              case)]
+            assert res.whatif_time_s == res.base_time_s
+
+    def test_serve_whatif_rows_match_evaluate_whatif(self):
+        """The served whatif query reports exactly what the library
+        computes."""
+        from repro.kernels import all_workloads
+        from repro.serve.protocol import normalize_params
+        from repro.serve.queries import resolve_query
+
+        params = normalize_params(
+            "whatif", {"base": "B200", "scales": {"tc_fp64": 2.0}})
+        payload = resolve_query("whatif", params)
+        restored = hypothetical("B200", tc_fp64=2.0)
+        direct = evaluate_whatif(all_workloads(), "B200", restored,
+                                 Variant.TC)
+        assert len(payload["results"]) == len(direct)
+        for row, res in zip(payload["results"], direct):
+            assert row["workload"] == res.workload
+            assert row["base_time_s"] == res.base_time_s
+            assert row["whatif_time_s"] == res.whatif_time_s
+            assert row["speedup"] == res.speedup
+
+
 class TestObservationsCli:
     @pytest.mark.slow
     def test_observations_command_exits_zero(self, capsys):

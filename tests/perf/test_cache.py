@@ -128,6 +128,98 @@ class TestResultCacheTiers:
         assert cache.stats.misses == 4  # entry 0 was evicted
 
 
+class TestDiskCapAndPruning:
+    def fill(self, cache, n, size=1000, kind="blob"):
+        for i in range(n):
+            cache.get_or_compute(kind, content_key(kind, i),
+                                 lambda i=i: bytes(size))
+
+    def test_disk_stats_counts_per_kind(self, tmp_path):
+        cache = ResultCache(tmp_path, disk=True, max_disk_bytes=None)
+        self.fill(cache, 2, kind="a")
+        self.fill(cache, 3, kind="b")
+        stats = cache.disk_stats()
+        assert stats.total_entries == 5
+        assert set(stats.kinds) == {"a", "b"}
+        assert stats.kinds["a"][0] == 2 and stats.kinds["b"][0] == 3
+        assert stats.total_bytes == sum(b for _, b in stats.kinds.values())
+        assert stats.max_disk_bytes is None
+
+    def test_prune_is_noop_without_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, disk=True, max_disk_bytes=None)
+        self.fill(cache, 4)
+        result = cache.prune()
+        assert result.removed_entries == 0
+        assert result.remaining_entries == 4
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, disk=True, max_disk_bytes=None)
+        self.fill(cache, 3)
+        # age the entries explicitly, newest-to-oldest = 2, 1, 0
+        for i, age in ((0, 300), (1, 200), (2, 100)):
+            path = cache._entry_path("blob", content_key("blob", i))
+            st = path.stat()
+            os.utime(path, (st.st_atime - age, st.st_mtime - age))
+        entry = cache.disk_stats().total_bytes // 3
+        result = cache.prune(max_bytes=2 * entry)
+        assert result.removed_entries == 1
+        assert result.remaining_entries == 2
+        # the oldest (entry 0) went; 1 and 2 survive on disk
+        cache.clear_memory()
+        assert CacheStats_probe(cache, 3) == {"kept": [1, 2],
+                                              "evicted": [0]}
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, disk=True, max_disk_bytes=None)
+        self.fill(cache, 2)
+        # make entry 0 older, then touch it via a disk hit
+        for i, age in ((0, 300), (1, 100)):
+            path = cache._entry_path("blob", content_key("blob", i))
+            st = path.stat()
+            os.utime(path, (st.st_atime - age, st.st_mtime - age))
+        cache.clear_memory()
+        cache.get_or_compute("blob", content_key("blob", 0),
+                             lambda: pytest.fail("should hit disk"))
+        entry = cache.disk_stats().total_bytes // 2
+        cache.prune(max_bytes=entry)
+        cache.clear_memory()
+        assert CacheStats_probe(cache, 2) == {"kept": [0], "evicted": [1]}
+
+    def test_writes_trigger_periodic_prune(self, tmp_path):
+        cache = ResultCache(tmp_path, disk=True, max_disk_bytes=1)
+        self.fill(cache, ResultCache.PRUNE_EVERY)
+        # the PRUNE_EVERY-th write pruned down toward the 1-byte cap;
+        # only the newest entry (just written, never scanned) may remain
+        assert cache.disk_stats().total_entries <= 1
+
+    def test_env_cap_parsing(self, monkeypatch):
+        from repro.perf.cache import default_max_disk_bytes
+        cases = {"": None, "0": None, "weird": None, "1024": 1024,
+                 "4k": 4096, "2M": 2 * (1 << 20), "1.5G": int(1.5 * (1 << 30))}
+        for raw, want in cases.items():
+            monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", raw)
+            assert default_max_disk_bytes() == want, raw
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert default_max_disk_bytes() is None
+
+    def test_cap_picked_up_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "8k")
+        cache = ResultCache(tmp_path, disk=True)
+        assert cache.max_disk_bytes == 8192
+        assert cache.disk_stats().max_disk_bytes == 8192
+
+
+def CacheStats_probe(cache, n: int) -> dict:
+    """Which of the first ``n`` 'blob' entries survive on disk."""
+    kept, evicted = [], []
+    for i in range(n):
+        path = cache._entry_path("blob", content_key("blob", i))
+        (kept if path.exists() else evicted).append(i)
+    return {"kept": kept, "evicted": evicted}
+
+
 class TestCachedArtifactsBitIdentical:
     def test_matrix(self, isolated_cache):
         cached = generate_matrix("spmsrtls", scale=0.05)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.perf.executor import ParallelExecutor, _chunk_bounds, resolve_n_jobs
+from repro.perf.executor import (
+    ParallelExecutor,
+    WorkerTaskError,
+    _chunk_bounds,
+    resolve_n_jobs,
+)
 
 
 def _square(x: int) -> int:
@@ -61,8 +66,25 @@ class TestMap:
         assert ParallelExecutor(2).map(_square, []) == []
 
     def test_worker_exception_propagates(self):
-        with pytest.raises(ZeroDivisionError):
-            ParallelExecutor(2).map(_fail_on_five, list(range(10)))
+        with pytest.raises(WorkerTaskError, match="item 1"):
+            # chunk_size=4: item 5 is index 1 of its chunk
+            ParallelExecutor(2).map(_fail_on_five, list(range(10)),
+                                    chunk_size=4)
+
+    def test_worker_exception_names_label(self):
+        labels = [f"wl-{i}" for i in range(10)]
+        with pytest.raises(WorkerTaskError, match="wl-5.*ZeroDivisionError"):
+            ParallelExecutor(2).map(_fail_on_five, list(range(10)),
+                                    labels=labels, chunk_size=3)
+
+    def test_label_callable_and_serial_path(self):
+        with pytest.raises(WorkerTaskError, match="wl-5"):
+            ParallelExecutor(1).map(_fail_on_five, list(range(10)),
+                                    labels=lambda x: f"wl-{x}")
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            ParallelExecutor(2).map(_square, range(4), labels=["a"])
 
 
 def _fail_on_five(x: int) -> float:

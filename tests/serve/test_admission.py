@@ -1,0 +1,134 @@
+"""Admission gates: token bucket, circuit breaker, controller wiring."""
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    TokenBucket,
+)
+from repro.serve.telemetry import Telemetry
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+        clock.advance(0.5)  # +1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert [bucket.try_acquire() for _ in range(3)] == \
+            [True, True, False]
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=5.0):
+        clock = FakeClock()
+        return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        b, _ = self.make(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CircuitBreaker.CLOSED and b.allow()
+        b.record_failure()
+        assert b.state == CircuitBreaker.OPEN and not b.allow()
+
+    def test_success_resets_failure_count(self):
+        b, _ = self.make(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_then_recover(self):
+        b, clock = self.make(threshold=1, cooldown=5.0)
+        b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        clock.advance(4.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.allow()                     # the single half-open probe
+        assert b.state == CircuitBreaker.HALF_OPEN
+        assert not b.allow()                 # second concurrent probe denied
+        b.record_success()
+        assert b.state == CircuitBreaker.CLOSED and b.allow()
+
+    def test_half_open_failure_retrips(self):
+        b, clock = self.make(threshold=1, cooldown=5.0)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        assert not b.allow()                 # cooldown restarts
+        clock.advance(5.0)
+        assert b.allow()
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+
+
+class TestAdmissionController:
+    def test_rate_gate_disabled_by_default(self):
+        ac = AdmissionController(clock=FakeClock())
+        assert all(ac.try_rate() for _ in range(1000))
+
+    def test_rate_gate_enforced_and_counted(self):
+        t = Telemetry()
+        ac = AdmissionController(rate=1.0, burst=2.0, telemetry=t,
+                                 clock=FakeClock())
+        assert ac.try_rate() and ac.try_rate()
+        assert not ac.try_rate()
+        assert t.counter("rejected_rate_total") == 1
+
+    def test_depth_gate(self):
+        t = Telemetry()
+        ac = AdmissionController(max_queue_depth=2, telemetry=t,
+                                 clock=FakeClock())
+        assert ac.try_depth(0) and ac.try_depth(1)
+        assert not ac.try_depth(2)
+        assert t.counter("rejected_depth_total") == 1
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+
+    def test_breakers_are_per_kind(self):
+        clock = FakeClock()
+        ac = AdmissionController(breaker_threshold=1, telemetry=Telemetry(),
+                                 clock=clock)
+        ac.record_result("perf", ok=False)
+        assert not ac.allow_model("perf")
+        assert ac.allow_model("quadrant")    # independent breaker
+
+    def test_breaker_states_exported_to_gauges(self):
+        t = Telemetry()
+        ac = AdmissionController(breaker_threshold=1, telemetry=t,
+                                 clock=FakeClock())
+        ac.record_result("edp", ok=False)
+        ac.record_result("perf", ok=True)
+        states = t.snapshot()["gauges"]["breaker_states"]
+        assert states == {"edp": "open", "perf": "closed"}
+        assert t.counter("model_failures_total") == 1

@@ -1,0 +1,295 @@
+"""End-to-end service behavior: TCP wire, degradation under saturation.
+
+Covers the acceptance criteria directly: served answers bit-identical to
+direct resolution, the admission queue rejecting under saturation, the
+deadline path degrading to stale answers, and the circuit breaker
+tripping, half-opening, and recovering.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+from repro.serve import (
+    CharacterizationService,
+    HostedService,
+    ServeClient,
+    ServeConfig,
+    run_loadgen,
+    run_query_locally,
+)
+from repro.serve.protocol import Request, normalize_params
+from repro.serve.queries import resolve_query
+
+from .conftest import run
+
+
+def make_request(kind, params=None, **kwargs):
+    return Request(kind=kind, params=normalize_params(kind, params),
+                   **kwargs)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTcpWire:
+    def test_served_answers_bit_identical_to_direct(self, thread_config):
+        """quadrant + perf over TCP == run_query_locally == resolver."""
+        cases = [
+            ("quadrant", {"workload": "gemv"}),
+            ("perf", {"workloads": ["gemv"], "gpus": ["A100"]}),
+        ]
+        with HostedService(thread_config) as hosted:
+            host, port = hosted.address
+            with ServeClient(host, port) as client:
+                for kind, params in cases:
+                    wire = client.query(kind, params)
+                    assert wire.ok and wire.served_by == "model"
+                    local = run_query_locally(kind, params)
+                    assert local.ok
+                    direct = resolve_query(
+                        kind, normalize_params(kind, params))
+                    wire_json = json.dumps(wire.result, sort_keys=True)
+                    assert wire_json == json.dumps(local.result,
+                                                   sort_keys=True)
+                    assert wire_json == json.dumps(direct, sort_keys=True)
+
+    def test_second_identical_query_served_from_cache(self, thread_config):
+        with HostedService(thread_config) as hosted:
+            host, port = hosted.address
+            with ServeClient(host, port) as client:
+                first = client.query("edp", {"workload": "gemv"})
+                second = client.query("edp", {"workload": "gemv"})
+        assert first.served_by == "model"
+        assert second.served_by == "cache"
+        assert json.dumps(first.result) == json.dumps(second.result)
+
+    def test_malformed_line_keeps_connection_alive(self, thread_config):
+        with HostedService(thread_config) as hosted:
+            host, port = hosted.address
+            sock = socket.create_connection((host, port), timeout=10)
+            try:
+                f = sock.makefile("r", encoding="utf-8", newline="\n")
+                sock.sendall(b"this is not json\n")
+                err = json.loads(f.readline())
+                assert err["ok"] is False
+                assert err["id"] is None
+                assert err["error"]["code"] == "bad_request"
+                # the same connection still serves valid queries
+                sock.sendall(b'{"kind": "ping", "id": "after"}\n')
+                ok = json.loads(f.readline())
+                assert ok["ok"] is True and ok["id"] == "after"
+                assert ok["result"] == "pong"
+            finally:
+                sock.close()
+
+    def test_metrics_query_reports_activity(self, thread_config):
+        with HostedService(thread_config) as hosted:
+            host, port = hosted.address
+            with ServeClient(host, port) as client:
+                client.query("quadrant", {"workload": "gemv"})
+                snap = client.query("metrics").result
+        assert snap["counters"]["requests_total"] >= 1
+        assert snap["counters"]["connections_total"] >= 1
+        assert snap["gauges"]["pool_mode"] == "thread"
+        assert "quadrant" in snap["latency_by_kind"]
+
+    def test_short_loadgen_run_is_clean(self, thread_config):
+        """Mini version of the CI smoke: zero errors, high reuse."""
+        with HostedService(thread_config) as hosted:
+            host, port = hosted.address
+            summary = run_loadgen(host, port, clients=4, duration_s=1.5)
+        assert summary["errors"] == 0, summary["error_samples"]
+        assert summary["requests"] > 0
+        assert summary["reuse_rate"] >= 0.95
+        assert summary["server_metrics"] is not None
+
+
+class BlockingResolver:
+    def __init__(self):
+        self.release = threading.Event()
+
+    def __call__(self, kind, params):
+        if not self.release.wait(timeout=10):
+            raise TimeoutError("test never released the resolver")
+        return {"kind": kind, "echo": dict(params)}
+
+
+async def settle(predicate, timeout_s=5.0):
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("condition never became true")
+        await asyncio.sleep(0.005)
+
+
+class TestSaturation:
+    def test_queue_depth_cap_rejects_overload(self):
+        """Distinct queries beyond max_queue_depth get ``overloaded``;
+        coalesced joins stay admitted."""
+        config = ServeConfig(pool_mode="thread", workers=1,
+                             max_queue_depth=1, default_deadline_s=10.0)
+        resolver = BlockingResolver()
+
+        async def scenario():
+            service = CharacterizationService(config, resolver=resolver)
+            try:
+                first = asyncio.ensure_future(service.handle(
+                    make_request("quadrant", {"workload": "gemv"})))
+                await settle(lambda: service.scheduler.inflight_count() == 1)
+                # a distinct query needs a new job: queue is full
+                rejected = await service.handle(
+                    make_request("quadrant", {"workload": "spmv"}))
+                # an identical query joins the in-flight job: admitted
+                joined = asyncio.ensure_future(service.handle(
+                    make_request("quadrant", {"workload": "gemv"})))
+                await settle(
+                    lambda: service.telemetry.counter("coalesced_total") == 1)
+                resolver.release.set()
+                return rejected, await first, await joined
+            finally:
+                await service.stop()
+
+        rejected, first, joined = run(scenario())
+        assert not rejected.ok
+        assert rejected.error["code"] == "overloaded"
+        assert first.ok and joined.ok
+        assert joined.served_by == "coalesced"
+
+    def test_deadline_errors_then_serves_stale(self):
+        config = ServeConfig(pool_mode="thread", workers=1,
+                             default_deadline_s=10.0)
+        resolver = BlockingResolver()
+
+        async def scenario():
+            service = CharacterizationService(config, resolver=resolver)
+            try:
+                req = make_request("edp", {"workload": "gemv"},
+                                   deadline_s=0.1, fresh=True)
+                # nothing cached yet: the overrun is a hard error
+                timed_out = await service.handle(req)
+                resolver.release.set()  # let the job finish and be stored
+                await settle(
+                    lambda: service.scheduler.inflight_count() == 0)
+                # block again; the fresh re-ask overruns but now degrades
+                resolver.release.clear()
+                stale = await service.handle(req)
+                resolver.release.set()
+                return timed_out, stale, service.telemetry.snapshot()
+            finally:
+                await service.stop()
+
+        timed_out, stale, snap = run(scenario())
+        assert not timed_out.ok
+        assert timed_out.error["code"] == "deadline_exceeded"
+        assert stale.ok and stale.stale and stale.served_by == "stale"
+        assert stale.result == {"kind": "edp",
+                                "echo": normalize_params(
+                                    "edp", {"workload": "gemv"})}
+        assert snap["counters"]["deadline_exceeded_total"] == 2
+        assert snap["counters"]["stale_served_total"] == 1
+
+    def test_breaker_trips_half_opens_and_recovers(self):
+        clock = FakeClock()
+        config = ServeConfig(pool_mode="thread", workers=1,
+                             breaker_threshold=2, breaker_cooldown_s=10.0,
+                             default_deadline_s=10.0)
+        healthy = threading.Event()
+
+        def resolver(kind, params):
+            if not healthy.is_set():
+                raise RuntimeError("model backend down")
+            return {"kind": kind, "ok": True}
+
+        async def scenario():
+            service = CharacterizationService(config, resolver=resolver,
+                                              clock=clock)
+            try:
+                req = make_request("edp", {"workload": "gemv"}, fresh=True)
+                failures = [await service.handle(req) for _ in range(2)]
+                breaker = service.admission.breaker("edp")
+                state_after_trip = breaker.state
+                # while open: fail fast, no model call
+                blocked = await service.handle(req)
+                # cooldown elapses -> half-open probe; backend is healthy
+                clock.advance(10.1)
+                healthy.set()
+                probe = await service.handle(req)
+                state_after_probe = breaker.state
+                recovered = await service.handle(req)
+                return (failures, state_after_trip, blocked, probe,
+                        state_after_probe, recovered)
+            finally:
+                await service.stop()
+
+        (failures, state_after_trip, blocked, probe,
+         state_after_probe, recovered) = run(scenario())
+        assert all(not f.ok and f.error["code"] == "model_error"
+                   for f in failures)
+        assert state_after_trip == "open"
+        assert not blocked.ok
+        assert blocked.error["code"] == "circuit_open"
+        assert probe.ok and probe.served_by == "model"
+        assert state_after_probe == "closed"
+        assert recovered.ok
+
+    def test_open_breaker_serves_stale_when_primed(self):
+        clock = FakeClock()
+        config = ServeConfig(pool_mode="thread", workers=1,
+                             breaker_threshold=1, default_deadline_s=10.0)
+        healthy = threading.Event()
+        healthy.set()
+
+        def resolver(kind, params):
+            if not healthy.is_set():
+                raise RuntimeError("model backend down")
+            return {"kind": kind, "ok": True}
+
+        async def scenario():
+            service = CharacterizationService(config, resolver=resolver,
+                                              clock=clock)
+            try:
+                req = make_request("edp", {"workload": "gemv"}, fresh=True)
+                good = await service.handle(req)          # primes the store
+                healthy.clear()
+                failed = await service.handle(req)        # trips breaker
+                stale = await service.handle(req)         # open -> stale
+                return good, failed, stale
+            finally:
+                await service.stop()
+
+        good, failed, stale = run(scenario())
+        assert good.ok and good.served_by == "model"
+        assert not failed.ok
+        assert stale.ok and stale.stale and stale.served_by == "stale"
+        assert json.dumps(stale.result) == json.dumps(good.result)
+
+    def test_rate_limit_rejects_burst(self):
+        clock = FakeClock()
+        config = ServeConfig(pool_mode="thread", workers=1,
+                             rate=1.0, burst=2.0, default_deadline_s=10.0)
+
+        async def scenario():
+            service = CharacterizationService(
+                config, resolver=lambda kind, params: {"v": 1},
+                clock=clock)
+            try:
+                req = make_request("edp", {"workload": "gemv"}, fresh=True)
+                answers = [await service.handle(req) for _ in range(3)]
+                return answers
+            finally:
+                await service.stop()
+
+        a, b, c = run(scenario())
+        assert a.ok and b.ok
+        assert not c.ok
+        assert c.error["code"] == "rate_limited"

@@ -1,0 +1,73 @@
+"""Telemetry: trace spans, rolling histograms, snapshot accounting."""
+
+from repro.serve.telemetry import RollingHistogram, Telemetry, Trace
+
+
+class TestTrace:
+    def test_phases_accumulate(self):
+        times = iter([0.0, 1.0, 3.0, 3.0, 7.0, 10.0])
+        trace = Trace(clock=lambda: next(times))
+        with trace.phase("queue"):      # 1.0 -> 3.0
+            pass
+        with trace.phase("model"):      # 3.0 -> 7.0
+            pass
+        assert trace.spans == {"queue": 2.0, "model": 4.0}
+        d = trace.to_dict()
+        assert d["queue_s"] == 2.0 and d["model_s"] == 4.0
+        assert d["total_s"] == 10.0     # last clock read minus t0
+
+    def test_repeated_phase_sums(self):
+        trace = Trace()
+        trace.add("model", 0.25)
+        trace.add("model", 0.5)
+        assert trace.spans["model"] == 0.75
+
+
+class TestRollingHistogram:
+    def test_nearest_rank_percentiles(self):
+        h = RollingHistogram(window=256)
+        for v in range(1, 101):         # 1..100
+            h.observe(float(v))
+        assert h.percentile(0.50) == 50.0
+        assert h.percentile(0.95) == 95.0
+        assert h.percentile(0.99) == 99.0
+        assert h.percentile(1.0) == 100.0
+
+    def test_empty_is_zero(self):
+        assert RollingHistogram().percentile(0.99) == 0.0
+
+    def test_window_bounds_memory(self):
+        h = RollingHistogram(window=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.summary()["window"] == 8
+        assert h.percentile(0.5) >= 92.0  # only the tail remains
+
+
+class TestTelemetry:
+    def test_counters_and_gauges(self):
+        t = Telemetry()
+        t.inc("requests_total", 3)
+        t.gauge("pool_mode", "thread")
+        snap = t.snapshot()
+        assert snap["counters"]["requests_total"] == 3
+        assert snap["gauges"]["pool_mode"] == "thread"
+
+    def test_reuse_rate(self):
+        t = Telemetry()
+        t.inc("requests_total", 10)
+        t.inc("coalesced_total", 3)
+        t.inc("cache_hits_total", 4)
+        t.inc("stale_served_total", 1)
+        assert t.snapshot()["reuse_rate"] == 0.8
+
+    def test_latency_and_trace_histograms(self):
+        t = Telemetry()
+        t.observe_latency("perf", 0.5)
+        trace = Trace()
+        trace.add("model", 0.4)
+        t.observe_trace(trace)
+        snap = t.snapshot()
+        assert snap["latency_by_kind"]["perf"]["count"] == 1
+        assert snap["phase_spans"]["model"]["p50_s"] == 0.4
