@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..gpu.device import Device
 from ..gpu.power import PowerTrace
 from ..kernels.base import Quadrant, Workload
+from ..perf.instrument import stage
 
 
 __all__ = ["EdpEntry", "edp_study", "quadrant_geomeans", "power_trace_study"]
@@ -41,20 +42,21 @@ def edp_study(workload: Workload, device: Device,
         repeats = workload.edp_repeats
     case = workload.representative_case()
     entries = []
-    for variant in workload.variants():
-        stats = workload.analytic_stats(variant, case)
-        power = device.power.steady_power(stats)
-        t_loop = device.timing.time(stats) * repeats
-        entries.append(EdpEntry(
-            workload=workload.name,
-            quadrant=workload.quadrant,
-            variant=variant.value,
-            repeats=repeats,
-            loop_time_s=t_loop,
-            avg_power_w=power,
-            energy_j=power * t_loop,
-            edp=power * t_loop * t_loop,
-        ))
+    with stage("analysis.edp_study"):
+        for variant in workload.variants():
+            stats = workload.analytic_stats(variant, case)
+            power = device.power.steady_power(stats)
+            t_loop = device.timing.time(stats) * repeats
+            entries.append(EdpEntry(
+                workload=workload.name,
+                quadrant=workload.quadrant,
+                variant=variant.value,
+                repeats=repeats,
+                loop_time_s=t_loop,
+                avg_power_w=power,
+                energy_j=power * t_loop,
+                edp=power * t_loop * t_loop,
+            ))
     return entries
 
 

@@ -28,10 +28,10 @@ import numpy as np
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device
 from ..gpu.isa import Precision
-from ..gpu.mma import mma_fp64_batched
-from ..gpu.mma_mixed import mma_mixed_batched
+from ..gpu.launch import LaunchPlan, execute_plan
 
 from ..kernels.base import TC_EFF
+from ..perf.instrument import stage
 
 __all__ = ["blocked_cholesky", "solve_cholesky", "RefinementResult",
            "iterative_refinement", "modeled_factorization_time"]
@@ -39,11 +39,13 @@ __all__ = ["blocked_cholesky", "solve_cholesky", "RefinementResult",
 
 def _mma_gemm(a: np.ndarray, b: np.ndarray,
               precision: Precision) -> np.ndarray:
-    """C = A @ B through the MMA emulation at the given precision."""
+    """C = A @ B through the launch plan at the given precision."""
+    plan = LaunchPlan()
     if precision is Precision.FP64:
-        return mma_fp64_batched(a[np.newaxis], b[np.newaxis])[0]
-    return mma_mixed_batched(a[np.newaxis], b[np.newaxis],
-                             precision=precision)[0]
+        h = plan.product(a[np.newaxis], b[np.newaxis])
+    else:
+        h = plan.mixed(a[np.newaxis], b[np.newaxis], precision=precision)
+    return execute_plan(plan, label="refine")[h][0]
 
 
 def blocked_cholesky(a: np.ndarray, block: int = 32,
@@ -112,16 +114,23 @@ def iterative_refinement(a: np.ndarray, b: np.ndarray, *,
     """Factor once at ``precision``, refine to FP64 accuracy."""
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
-    l = blocked_cholesky(a, block=block, precision=precision)
-    x = solve_cholesky(l, b)
-    b_norm = float(np.linalg.norm(b)) or 1.0
-    residuals = [float(np.linalg.norm(b - a @ x)) / b_norm]
-    for it in range(1, max_iter + 1):
-        if residuals[-1] < tol:
-            return RefinementResult(x, residuals, it - 1, True, precision)
-        r = b - a @ x                      # FP64 residual
-        x = x + solve_cholesky(l, r)       # low-precision-factor solve
-        residuals.append(float(np.linalg.norm(b - a @ x)) / b_norm)
+    with stage("refine.factor"):
+        l = blocked_cholesky(a, block=block, precision=precision)
+    # NOTE: the substitution loops in solve_cholesky stay row-wise on
+    # purpose — BLAS dot-product partial-sum grouping changes with vector
+    # length, so any "vectorized" restructuring would break the
+    # bit-identity the recorded digests pin.
+    with stage("refine.iterate"):
+        x = solve_cholesky(l, b)
+        b_norm = float(np.linalg.norm(b)) or 1.0
+        residuals = [float(np.linalg.norm(b - a @ x)) / b_norm]
+        for it in range(1, max_iter + 1):
+            if residuals[-1] < tol:
+                return RefinementResult(x, residuals, it - 1, True,
+                                        precision)
+            r = b - a @ x                  # FP64 residual
+            x = x + solve_cholesky(l, r)   # low-precision-factor solve
+            residuals.append(float(np.linalg.norm(b - a @ x)) / b_norm)
     return RefinementResult(x, residuals, max_iter,
                             residuals[-1] < tol, precision)
 

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf.instrument import stage
+
 __all__ = ["PcaResult", "standardize", "pca", "coverage_stats"]
 
 
@@ -61,26 +63,27 @@ def pca(x: np.ndarray, n_components: int = 2) -> PcaResult:
         raise ValueError("need at least two samples")
     if not 1 <= n_components <= d:
         raise ValueError(f"n_components must be in [1, {d}]")
-    mean = x.mean(axis=0)
-    centered = x - mean
-    cov = centered.T @ centered / (n - 1)
-    eigvals, eigvecs = np.linalg.eigh(cov)
-    order = np.argsort(eigvals)[::-1][:n_components]
-    comps = eigvecs[:, order].T
-    variances = np.maximum(eigvals[order], 0.0)
-    # deterministic sign: largest-magnitude coefficient positive
-    for i, row in enumerate(comps):
-        j = int(np.argmax(np.abs(row)))
-        if row[j] < 0:
-            comps[i] = -row
-    total = max(eigvals.clip(min=0).sum(), 1e-300)
-    return PcaResult(
-        components=comps,
-        explained_variance=variances,
-        explained_ratio=variances / total,
-        scores=centered @ comps.T,
-        mean=mean,
-    )
+    with stage("analysis.pca"):
+        mean = x.mean(axis=0)
+        centered = x - mean
+        cov = centered.T @ centered / (n - 1)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1][:n_components]
+        comps = eigvecs[:, order].T
+        variances = np.maximum(eigvals[order], 0.0)
+        # deterministic sign: largest-magnitude coefficient positive
+        for i, row in enumerate(comps):
+            j = int(np.argmax(np.abs(row)))
+            if row[j] < 0:
+                comps[i] = -row
+        total = max(eigvals.clip(min=0).sum(), 1e-300)
+        return PcaResult(
+            components=comps,
+            explained_variance=variances,
+            explained_ratio=variances / total,
+            scores=centered @ comps.T,
+            mean=mean,
+        )
 
 
 def coverage_stats(population_scores: np.ndarray,

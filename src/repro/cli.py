@@ -29,7 +29,7 @@ import os
 import sys
 from pathlib import Path
 
-from .analysis.accuracy import accuracy_table
+from .analysis.accuracy import accuracy_tables
 from .analysis.quadrants import classify
 from .analysis.roofline import suite_roofline
 from .analysis.suitability import KernelSketch, predict
@@ -45,7 +45,7 @@ from .harness.report import (
 )
 from .harness.runner import run_performance, speedup_summary
 from .kernels import Variant, all_workloads, get_workload
-from .perf.instrument import stage_timings
+from .perf.instrument import record_stage, stage, stage_meta, stage_timings
 
 __all__ = ["main", "build_parser"]
 
@@ -91,11 +91,12 @@ def cmd_power(args: argparse.Namespace) -> int:
 
 def cmd_accuracy(args: argparse.Namespace) -> int:
     device = Device(args.gpu[0])
+    workloads = _select_workloads(args.workload)
+    tables = accuracy_tables(workloads, device,
+                             n_jobs=getattr(args, "jobs", None))
     rows = []
-    for w in _select_workloads(args.workload):
-        if not w.floating_point:
-            continue
-        for e in accuracy_table(w, device):
+    for w in workloads:
+        for e in tables.get(w.name, ()):
             rows.append([e.workload, e.variant, f"{e.avg_error:.3E}",
                          f"{e.max_error:.3E}"])
     print(format_table(["Workload", "Variant", "Avg error", "Max error"],
@@ -205,10 +206,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for name, r in sorted(results.items()):
         print(f"{name}: cold {r['cold_s']:.1f}s, warm {r['warm_s']:.1f}s "
               f"({r['warm_speedup']}x)")
-        groups = r.get("profile", {}).get("groups")
+        prof = r.get("profile", {})
+        groups = prof.get("groups")
         if groups:
             print("  cold profile: "
-                  + ", ".join(f"{k} {v:.1f}s" for k, v in groups.items()))
+                  + ", ".join(f"{k} {v:.1f}s"
+                              for k, v in sorted(groups.items(),
+                                                 key=lambda kv: -kv[1])))
+        if prof.get("coverage") is not None:
+            print(f"  coverage: {prof['coverage']:.1%} of cold wall "
+                  f"attributed to named stages")
+        stages = prof.get("stages")
+        if stages and args.profile:
+            top = sorted(stages.items(),
+                         key=lambda kv: -kv[1]["self_seconds"])
+            shown = [s for s in top[:12] if s[1]["self_seconds"] >= 0.01]
+            for sname, rec in shown:
+                print(f"    {rec['self_seconds']:7.3f}s self "
+                      f"({rec['seconds']:7.3f}s incl, "
+                      f"{rec['calls']:3d} calls)  {sname}")
+            if len(top) > len(shown):
+                print(f"    ... {len(top) - len(shown)} more stages")
     out = write_bench_json(args.out, results)
     print(f"wrote {out}")
     if args.check:
@@ -385,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
             ("roofline", cmd_roofline, "Figure 9 points")):
         p = sub.add_parser(name, help=desc)
         add_common(p)
-        if name == "perf":
+        if name in ("perf", "accuracy"):
             add_perf_opts(p)
         p.set_defaults(fn=fn)
 
@@ -557,9 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # the bench harness stamps the spawn time so interpreter startup
+    # (imports dominate it) is attributed instead of landing in ``other``
+    bench_t0 = os.environ.get("REPRO_BENCH_T0")
+    if bench_t0:
+        try:
+            import time
+            record_stage("cli.startup", max(time.time() - float(bench_t0),
+                                            0.0))
+        except ValueError:
+            pass
     args = build_parser().parse_args(argv)
     try:
-        rc = args.fn(args)
+        with stage(f"cli.{args.command}"):
+            rc = args.fn(args)
     except KeyboardInterrupt:
         # worker pools re-raise a clean KeyboardInterrupt after
         # cancelling pending chunks (perf.executor); no tracebacks
@@ -575,12 +604,19 @@ def main(argv: list[str] | None = None) -> int:
     if getattr(args, "timings", False):
         print()
         print(format_stage_timings(stage_timings()))
+        workers = stage_meta().get("max_workers")
+        if workers:
+            print(f"effective worker processes: {workers}")
     # machine-readable stage dump for the bench profiler (subprocess runs
     # cannot share the in-process registry)
     stage_json = os.environ.get("REPRO_STAGE_JSON")
     if stage_json:
-        payload = {t.name: {"seconds": t.seconds, "calls": t.calls}
-                   for t in stage_timings()}
+        payload = {
+            "stages": {t.name: {"seconds": t.seconds, "calls": t.calls,
+                                "self_seconds": t.self_seconds}
+                       for t in stage_timings()},
+            "meta": stage_meta(),
+        }
         Path(stage_json).write_text(json.dumps(payload, indent=2) + "\n",
                                     encoding="utf-8")
     return rc

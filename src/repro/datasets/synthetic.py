@@ -21,6 +21,25 @@ _MASK = (1 << _MOD_BITS) - 1
 #: streams used by the vectorized leapfrog
 _LANES = 1024
 
+#: per-lane affine constants (a^i mod 2^48, c-sum_i) for i = 1.._LANES,
+#: computed once per process — they depend only on the LCG constants, so
+#: every generator shares them and seeding needs no Python-level loop
+_LANE_AFFINE: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _lane_affine() -> tuple[np.ndarray, np.ndarray]:
+    global _LANE_AFFINE
+    if _LANE_AFFINE is None:
+        a_pows = np.empty(_LANES, dtype=np.uint64)
+        c_sums = np.empty(_LANES, dtype=np.uint64)
+        a_i, c_i = 1, 0
+        for i in range(_LANES):
+            a_i, c_i = (_A * a_i) & _MASK, (_A * c_i + _C) & _MASK
+            a_pows[i] = a_i
+            c_sums[i] = c_i
+        _LANE_AFFINE = (a_pows, c_sums)
+    return _LANE_AFFINE
+
 
 class Lcg:
     """48-bit linear congruential generator, LINPACK style.
@@ -34,14 +53,11 @@ class Lcg:
     def __init__(self, seed: int = 1325) -> None:
         # 1325 is the historical LINPACK matgen seed
         self.state = (int(seed) ^ _A) & _MASK
-        # leapfrog constants: A_L = a^L, C_L = c * (a^{L-1} + ... + 1)
-        # composing the affine step x -> A x + C onto an accumulated map
-        # x -> a x + c yields x -> (A a) x + (A c + C)
-        a_l, c_l = 1, 0
-        for _ in range(_LANES):
-            a_l, c_l = (_A * a_l) & _MASK, (_A * c_l + _C) & _MASK
-        self._a_lane = a_l
-        self._c_lane = c_l
+        # leapfrog constants: A_L = a^L, C_L = c * (a^{L-1} + ... + 1) —
+        # the last row of the shared per-lane affine table
+        a_pows, c_sums = _lane_affine()
+        self._a_lane = int(a_pows[-1])
+        self._c_lane = int(c_sums[-1])
 
     # ------------------------------------------------------------------
     def _raw(self, n: int) -> np.ndarray:
@@ -50,13 +66,15 @@ class Lcg:
             raise ValueError("n must be non-negative")
         if n == 0:
             return np.empty(0, dtype=np.uint64)
-        # seed the first min(n, LANES) states scalar-ly
+        # seed the first min(n, LANES) states in one vectorized affine
+        # step: state_i = a^i * s + c_i (mod 2^48).  uint64 wraparound is
+        # harmless — only the low 48 bits of the product survive the mask,
+        # and those are exact, so this matches the scalar loop bit-for-bit
         lanes = min(n, _LANES)
-        first = np.empty(lanes, dtype=np.uint64)
-        s = self.state
-        for i in range(lanes):
-            s = (_A * s + _C) & _MASK
-            first[i] = s
+        a_pows, c_sums = _lane_affine()
+        with np.errstate(over="ignore"):
+            first = (a_pows[:lanes] * np.uint64(self.state)
+                     + c_sums[:lanes]) & np.uint64(_MASK)
         rows = (n + lanes - 1) // lanes
         out = np.empty((rows, lanes), dtype=np.uint64)
         out[0] = first

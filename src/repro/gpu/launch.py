@@ -19,7 +19,7 @@ element as the chained calls (DESIGN.md §6.1; regression-pinned by
 ``tests/kernels/test_seed_digests.py``).  Exact-zero padding steps append
 ``+ 0.0 * x`` terms, which leave finite accumulators bit-unchanged.
 
-Four op kinds are recordable:
+Five op kinds are recordable:
 
 * ``chain``   — uniform chained accumulation: ``(..., T, m, k)`` A steps
   against ``(..., T, k, n)`` B steps;
@@ -28,7 +28,11 @@ Four op kinds are recordable:
   ever introduced;
 * ``product`` — independent single products; same-shaped products in one
   plan stack into a single sweep (tcFFT's four real products per stage);
-* ``bit``     — one AND+POPC sweep over packed bit operands.
+* ``bit``     — one AND+POPC sweep over packed bit operands;
+* ``mixed``   — quantized-operand products (FP32 accumulate) for the
+  Ozaki slice-pair sweeps and low-precision Cholesky updates; same-shaped
+  same-precision products stack into one batched sweep (quantization is
+  elementwise, so it commutes with stacking).
 
 Ragged bucketing depends only on the segment structure (lengths/offsets),
 so it is cached in a small content-addressed LRU: repeated executions over
@@ -50,7 +54,9 @@ import numpy as np
 from ..perf.cache import content_key
 from ..perf.instrument import stage
 from . import warp_events
+from .isa import Precision
 from .mma import _emit_sampled_m8n8k4, mma_b1_batched, mma_fp64_batched
+from .mma_mixed import mma_mixed_batched
 
 __all__ = [
     "LaunchPlan",
@@ -118,6 +124,21 @@ class LaunchPlan:
             c: np.ndarray | None = None) -> int:
         """Record one packed single-bit AND+POPC sweep."""
         self._ops.append(("bit", a_words, b_words, c))
+        return len(self._ops) - 1
+
+    def mixed(self, a: np.ndarray, b: np.ndarray,
+              c: np.ndarray | None = None,
+              precision: Precision = Precision.FP16) -> int:
+        """Record one quantized-operand product (FP32 accumulate).
+
+        Like :meth:`product` but through the mixed-precision MMA path —
+        the Ozaki slice-pair sweeps and the low-precision Cholesky
+        trailing updates express their MMA work this way.  Same-shaped
+        accumulator-less products at the same precision stack into one
+        batched sweep; quantization is elementwise, so stacking commutes
+        with it and the fused sweep stays bit-identical.
+        """
+        self._ops.append(("mixed", a, b, c, precision))
         return len(self._ops) - 1
 
 
@@ -206,11 +227,15 @@ def execute_plan(plan: LaunchPlan, label: str = "plan") -> list[np.ndarray]:
     """
     outputs: list[np.ndarray | None] = [None] * len(plan._ops)
 
-    # stackable single products: same shapes, no accumulator
+    # stackable single products: same shapes, no accumulator (mixed ops
+    # additionally key on their operand precision)
     stackable: dict[tuple, list[int]] = {}
     for i, op in enumerate(plan._ops):
         if op[0] == "product" and op[3] is None:
             stackable.setdefault((op[1].shape, op[2].shape), []).append(i)
+        elif op[0] == "mixed" and op[3] is None:
+            stackable.setdefault(
+                (op[1].shape, op[2].shape, op[4]), []).append(i)
 
     done: set[int] = set()
     for i, op in enumerate(plan._ops):
@@ -257,6 +282,24 @@ def execute_plan(plan: LaunchPlan, label: str = "plan") -> list[np.ndarray]:
                     outputs[i] = _sweep_fp64(np.asarray(a, dtype=np.float64),
                                              np.asarray(b, dtype=np.float64),
                                              c)
+        elif kind == "mixed":
+            _, a, b, c, precision = op
+            group = stackable.get((a.shape, b.shape, precision), [i]) \
+                if c is None else [i]
+            if len(group) > 1:
+                with stage(f"plan-build:{label}"):
+                    a_stack = np.stack([plan._ops[j][1] for j in group])
+                    b_stack = np.stack([plan._ops[j][2] for j in group])
+                with stage(f"sweep-execute:{label}"):
+                    results = mma_mixed_batched(a_stack, b_stack,
+                                                precision=precision)
+                for pos, j in enumerate(group):
+                    outputs[j] = results[pos]
+                    done.add(j)
+            else:
+                with stage(f"sweep-execute:{label}"):
+                    outputs[i] = mma_mixed_batched(a, b, c,
+                                                   precision=precision)
         elif kind == "bit":
             _, a_words, b_words, c = op
             with stage(f"sweep-execute:{label}"):

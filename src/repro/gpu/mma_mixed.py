@@ -88,10 +88,16 @@ def mma_mixed_batched(a: np.ndarray, b: np.ndarray,
     else:
         acc = np.broadcast_to(np.asarray(c, dtype=np.float32),
                               batch + (m, n)).copy()
-    a32 = aq.astype(np.float32)
-    b32 = bq.astype(np.float32)
+    a32 = np.broadcast_to(aq.astype(np.float32), batch + (m, k))
+    b32 = np.broadcast_to(bq.astype(np.float32), batch + (k, n))
+    # k-sequential rank-1 updates through one reused fp32 scratch buffer:
+    # the product is exact in fp32 for quantized inputs and the in-place
+    # add rounds identically to the fresh-temporary formulation, so this
+    # is bit-identical while allocating two buffers total instead of two
+    # per k step
+    scratch = np.empty(batch + (m, n), dtype=np.float32)
     for kk in range(k):
-        # product exact in fp32 for quantized inputs; accumulate rounds
-        acc = (acc + a32[..., :, kk:kk + 1]
-               * b32[..., kk:kk + 1, :]).astype(np.float32)
+        np.multiply(a32[..., :, kk:kk + 1], b32[..., kk:kk + 1, :],
+                    out=scratch)
+        acc += scratch
     return acc.astype(np.float64)

@@ -22,6 +22,7 @@ from ..analysis.edp import edp_study, power_trace_study, quadrant_geomeans
 from ..gpu.device import Device
 from ..kernels.base import Variant, Workload
 from ..kernels import all_workloads, get_workload
+from ..perf.instrument import stage
 from .report import format_seconds, format_speedups, format_table
 from .runner import run_performance, speedup_summary
 
@@ -113,15 +114,19 @@ def evaluate(workload_names: list[str] | None, out_dir: str | Path,
     out_path = Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
     artifacts: dict[str, str] = {}
-    artifacts.update(_perf_outputs(workloads))
-    artifacts.update(_power_outputs(workloads, device))
-    artifacts["all_error"] = _error_csv(workloads, device)
+    with stage("harness.perf_outputs"):
+        artifacts.update(_perf_outputs(workloads))
+    with stage("harness.power_outputs"):
+        artifacts.update(_power_outputs(workloads, device))
+    with stage("harness.error_csv"):
+        artifacts["all_error"] = _error_csv(workloads, device)
     written: dict[str, Path] = {}
-    for name, text in artifacts.items():
-        suffix = ".csv" if name == "all_error" else ".txt"
-        path = out_path / f"{name}{suffix}"
-        path.write_text(text + "\n", encoding="utf-8")
-        written[name] = path
+    with stage("harness.write_artifacts"):
+        for name, text in artifacts.items():
+            suffix = ".csv" if name == "all_error" else ".txt"
+            path = out_path / f"{name}{suffix}"
+            path.write_text(text + "\n", encoding="utf-8")
+            written[name] = path
     return written
 
 

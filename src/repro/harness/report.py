@@ -50,12 +50,40 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 
 def format_stage_timings(timings: Sequence[StageTiming]) -> str:
-    """Render the per-stage wall-clock registry of a run."""
-    total = sum(t.seconds for t in timings)
-    rows = [[t.name, format_seconds(t.seconds), t.calls,
-             f"{t.seconds / total:.0%}" if total > 0 else "-"]
-            for t in sorted(timings, key=lambda t: -t.seconds)]
-    return format_table(["Stage", "Wall", "Calls", "Share"], rows,
+    """Render the per-stage wall-clock registry as a nesting tree.
+
+    Children print indented under their parent, siblings in descending
+    inclusive order.  ``Share`` is each stage's *self* time over the
+    total attributed self time, so the column sums to ~100% instead of
+    double-counting nested spans.  Records without self-time breakdowns
+    (hand-built, or merged from older dumps) fall back to inclusive
+    shares.
+    """
+    total_self = sum(t.self_seconds for t in timings)
+    use_self = total_self > 0
+
+    def _share_basis(t: StageTiming) -> float:
+        return t.self_seconds if use_self else t.seconds
+
+    total = total_self if use_self else \
+        sum(t.seconds for t in timings if "/" not in t.name)
+    by_parent: dict[str, list[StageTiming]] = {}
+    for t in timings:
+        parent = t.name.rsplit("/", 1)[0] if "/" in t.name else ""
+        by_parent.setdefault(parent, []).append(t)
+    rows: list[list[object]] = []
+
+    def _walk(parent: str, depth: int) -> None:
+        for t in sorted(by_parent.get(parent, []),
+                        key=lambda t: -t.seconds):
+            rows.append(["  " * depth + t.leaf, format_seconds(t.seconds),
+                         format_seconds(t.self_seconds), t.calls,
+                         f"{_share_basis(t) / total:.0%}"
+                         if total > 0 else "-"])
+            _walk(t.name, depth + 1)
+
+    _walk("", 0)
+    return format_table(["Stage", "Wall", "Self", "Calls", "Share"], rows,
                         title="Pipeline stage timings")
 
 

@@ -9,11 +9,17 @@ trajectory of the evaluation engine.
 
 With ``profile=True`` the cold invocation additionally dumps its per-stage
 wall-clock registry (via the ``REPRO_STAGE_JSON`` hook in the CLI) and the
-result carries a ``profile`` block: the raw stages plus sums grouped into
-``plan-build`` / ``sweep-execute`` / ``model-resolve`` / ``other`` — the
-attribution surface of ``repro bench --profile``.  :func:`check_regression`
-compares cold times against a checked-in baseline with a tolerance, the CI
-perf gate.
+result carries a ``profile`` block: the raw nested stages, per-group sums
+of *self* seconds (``plan-build`` / ``sweep-execute`` / ``dataset-gen`` /
+``accuracy-audit`` / ``observation-audit`` / ...), and a ``coverage``
+ratio — attributed self-seconds over the subprocess's whole wall-clock.
+Self seconds partition time exactly (children are excluded from their
+parents), so ``other = wall - attributed`` is genuinely unattributed work:
+interpreter startup not captured by ``cli.startup``, CLI glue, and any
+code path still missing a ``stage(...)`` scope.  :func:`check_regression`
+compares cold times against a checked-in baseline with a tolerance and
+enforces the baseline's absolute ``budgets`` (max cold/warm seconds,
+minimum coverage) — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["BENCHES", "run_bench", "write_bench_json", "check_regression"]
+__all__ = ["BENCHES", "PROFILE_GROUPS", "run_bench", "write_bench_json",
+           "check_regression", "profile_coverage"]
 
 #: bench name -> ``python -m repro`` argument list.  ``observations`` is
 #: the nine-observation audit, ``perf`` the Figures 3-6 grid
@@ -53,6 +60,9 @@ def _invoke(args: tuple[str, ...], cache_dir: str,
     src = str(Path(__file__).resolve().parent.parent.parent)
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")
+    # spawn timestamp: the CLI charges spawn -> main() as ``cli.startup``
+    # (time.time(), not perf_counter — it must compare across processes)
+    env["REPRO_BENCH_T0"] = repr(time.time())
     t0 = time.perf_counter()
     proc = subprocess.run([sys.executable, "-m", "repro", *args],
                          env=env, capture_output=True, text=True)
@@ -64,19 +74,59 @@ def _invoke(args: tuple[str, ...], cache_dir: str,
     return wall
 
 
-#: stage-name prefixes summed into their own profile group; everything
-#: else (dataset generation, audits, ...) lands in ``other``
-_PROFILE_GROUPS = ("plan-build", "sweep-execute", "model-resolve")
+#: profile group -> leaf-stage-name prefixes whose *self* seconds it sums.
+#: First match wins; stage paths are matched on their leaf name, so a
+#: ``datasets.generate_matrix`` nested anywhere still lands in
+#: ``dataset-gen``.  Anything unmatched is attributed under ``attributed``
+#: but grouped as ``misc``; ``other`` is wall minus all attributed time.
+PROFILE_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("plan-build", ("plan-build",)),
+    ("sweep-execute", ("sweep-execute",)),
+    ("model-resolve", ("model-resolve",)),
+    ("dataset-gen", ("datasets.",)),
+    ("accuracy-audit", ("accuracy.", "analysis.accuracy_table")),
+    ("observation-audit", ("verify.", "analysis.verify_all")),
+    ("refinement", ("refine.",)),
+    ("ozaki", ("ozaki.",)),
+    ("analysis", ("analysis.",)),
+    ("harness", ("harness.",)),
+    ("startup", ("cli.startup",)),
+)
 
 
-def _group_stages(stages: dict[str, dict]) -> dict[str, float]:
-    """Sum raw stage seconds into the coarse attribution groups."""
-    groups = dict.fromkeys(_PROFILE_GROUPS + ("other",), 0.0)
+def _group_of(leaf: str) -> str:
+    for group, prefixes in PROFILE_GROUPS:
+        if any(leaf.startswith(p) for p in prefixes):
+            return group
+    return "misc"
+
+
+def _group_stages(stages: dict[str, dict],
+                  wall: float | None = None) -> dict[str, float]:
+    """Sum per-stage *self* seconds into the attribution groups.
+
+    Self seconds partition wall-clock, so the groups are additive and
+    ``other`` (``wall`` minus everything attributed) is real unattributed
+    time, not double-counted nesting.
+    """
+    groups = dict.fromkeys([g for g, _ in PROFILE_GROUPS] + ["misc"], 0.0)
     for name, rec in stages.items():
-        head = name.split(":", 1)[0]
-        key = head if head in _PROFILE_GROUPS else "other"
-        groups[key] += float(rec.get("seconds", 0.0))
-    return {k: round(v, 3) for k, v in groups.items()}
+        leaf = name.rsplit("/", 1)[-1]
+        own = float(rec.get("self_seconds", rec.get("seconds", 0.0)))
+        groups[_group_of(leaf)] += own
+    attributed = sum(groups.values())
+    if wall is not None:
+        groups["other"] = max(wall - attributed, 0.0)
+    return {k: round(v, 3) for k, v in groups.items() if v > 0.0
+            or k == "other"}
+
+
+def profile_coverage(stages: dict[str, dict], wall: float) -> float:
+    """Attributed self-seconds over subprocess wall-clock, in [0, 1]."""
+    attributed = sum(
+        float(rec.get("self_seconds", rec.get("seconds", 0.0)))
+        for rec in stages.values())
+    return min(attributed / wall, 1.0) if wall > 0 else 0.0
 
 
 def run_bench(names: list[str] | None = None,
@@ -114,13 +164,22 @@ def run_bench(names: list[str] | None = None,
                 "warm_speedup": round(cold / warm, 2) if warm > 0 else None,
             }
             if stage_json is not None and stage_json.exists():
-                stages = json.loads(stage_json.read_text(encoding="utf-8"))
+                dump = json.loads(stage_json.read_text(encoding="utf-8"))
+                stages = dump.get("stages", dump)
                 results[name]["profile"] = {
-                    "groups": _group_stages(stages),
-                    "stages": {n: {"seconds": round(r["seconds"], 3),
-                                   "calls": r["calls"]}
-                               for n, r in sorted(stages.items())},
+                    "coverage": round(profile_coverage(stages, cold), 3),
+                    "groups": _group_stages(stages, wall=cold),
+                    "stages": {
+                        n: {"seconds": round(float(r["seconds"]), 3),
+                            "self_seconds": round(
+                                float(r.get("self_seconds",
+                                            r["seconds"])), 3),
+                            "calls": r["calls"]}
+                        for n, r in sorted(stages.items())},
                 }
+                meta = dump.get("meta")
+                if meta:
+                    results[name]["profile"]["meta"] = meta
     finally:
         if ctx:
             ctx.cleanup()
@@ -136,30 +195,68 @@ def check_regression(results: dict[str, dict],
     baseline by more than ``tolerance`` (fractional).  Benches absent from
     the baseline pass (new benches cannot regress); a missing baseline
     file is itself an issue so CI cannot silently skip the gate.
+
+    The baseline's optional ``budgets`` block adds absolute bounds per
+    bench: ``cold_max_s`` / ``warm_max_s`` caps, and ``min_coverage``
+    (enforced only when the run carries a profile — coverage needs
+    ``--profile``'s stage dump to exist).
     """
     path = Path(baseline_path)
     if not path.exists():
         return [f"bench baseline {path} not found"]
-    base = json.loads(path.read_text(encoding="utf-8")).get("benches", {})
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    base = doc.get("benches", {})
+    budgets = doc.get("budgets", {})
     issues: list[str] = []
     for name in sorted(results):
         ref = base.get(name, {}).get("cold_s")
-        if ref is None:
-            continue
-        limit = float(ref) * (1.0 + tolerance)
         cold = float(results[name]["cold_s"])
-        if cold > limit:
+        if ref is not None:
+            limit = float(ref) * (1.0 + tolerance)
+            if cold > limit:
+                issues.append(
+                    f"{name}: cold {cold:.1f}s exceeds baseline {ref:.1f}s "
+                    f"by more than {tolerance:.0%} (limit {limit:.1f}s)")
+        budget = budgets.get(name, {})
+        cold_max = budget.get("cold_max_s")
+        if cold_max is not None and cold > float(cold_max):
+            issues.append(f"{name}: cold {cold:.1f}s over the "
+                          f"{float(cold_max):.1f}s budget")
+        warm_max = budget.get("warm_max_s")
+        warm = results[name].get("warm_s")
+        if warm_max is not None and warm is not None \
+                and float(warm) > float(warm_max):
+            issues.append(f"{name}: warm {float(warm):.1f}s over the "
+                          f"{float(warm_max):.1f}s budget")
+        min_cov = budget.get("min_coverage")
+        coverage = results[name].get("profile", {}).get("coverage")
+        if min_cov is not None and coverage is not None \
+                and float(coverage) < float(min_cov):
             issues.append(
-                f"{name}: cold {cold:.1f}s exceeds baseline {ref:.1f}s "
-                f"by more than {tolerance:.0%} (limit {limit:.1f}s)")
+                f"{name}: profile coverage {float(coverage):.2f} below "
+                f"the {float(min_cov):.2f} floor — stage attribution "
+                f"regressed")
     return issues
 
 
 def write_bench_json(path: str | Path, results: dict[str, dict],
-                     baseline: dict | None = None) -> Path:
-    """Write ``BENCH_perf.json``: host metadata + bench results."""
+                     baseline: dict | None = None,
+                     budgets: dict | None = None) -> Path:
+    """Write ``BENCH_perf.json``: host metadata + bench results.
+
+    The checked-in file doubles as the ``--check`` baseline, so the
+    hand-maintained ``budgets`` block survives a rewrite: when the target
+    already exists, its budgets carry over unless new ones are passed.
+    """
+    out = Path(path)
+    if budgets is None and out.exists():
+        try:
+            budgets = json.loads(
+                out.read_text(encoding="utf-8")).get("budgets")
+        except (OSError, json.JSONDecodeError):
+            budgets = None
     payload = {
-        "schema": 1,
+        "schema": 2,
         "suite": "repro evaluation engine",
         "host": {
             "platform": platform.platform(),
@@ -169,8 +266,9 @@ def write_bench_json(path: str | Path, results: dict[str, dict],
         },
         "benches": results,
     }
+    if budgets:
+        payload["budgets"] = budgets
     if baseline:
         payload["seed_baseline"] = baseline
-    out = Path(path)
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return out

@@ -10,6 +10,13 @@ test suite asserts.
 Worker functions must be module-level (picklable); items are sent to
 workers in contiguous chunks to amortize process overhead.  ``n_jobs``
 defaults to ``REPRO_JOBS`` or the machine's CPU count.
+
+Stage attribution survives the fan-out: pass ``stage_names`` (one stage
+name per item) and each item runs under :func:`repro.perf.instrument.stage`.
+Pool workers snapshot their stage registry per chunk and ship it back with
+the results; the parent merges the records under whatever stage is active
+at the ``map`` call site, so ``analysis.verify_all`` decomposes into
+per-item children whether the work ran in-process or across processes.
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from .instrument import (merge_stage_timings, note_worker_count,
+                         reset_stage_timings, snapshot_stage_timings, stage)
 
 __all__ = ["ParallelExecutor", "WorkerTaskError", "resolve_n_jobs"]
 
@@ -64,13 +74,17 @@ def _chunk_bounds(n_items: int, chunk_size: int) -> list[tuple[int, int]]:
             for lo in range(0, n_items, chunk_size)]
 
 
-def _run_chunk(payload: tuple[Callable[[T], R], list[T], list[str] | None]
-               ) -> list[R]:
-    fn, chunk, labels = payload
+def _run_chunk(payload: tuple[Callable[[T], R], list[T], list[str] | None,
+                              list[str] | None]) -> list[R]:
+    fn, chunk, labels, stage_names = payload
     out: list[R] = []
     for i, item in enumerate(chunk):
         try:
-            out.append(fn(item))
+            if stage_names:
+                with stage(stage_names[i]):
+                    out.append(fn(item))
+            else:
+                out.append(fn(item))
         except Exception as exc:
             label = labels[i] if labels else f"item {i}"
             raise WorkerTaskError(
@@ -78,6 +92,20 @@ def _run_chunk(payload: tuple[Callable[[T], R], list[T], list[str] | None]
                 f"--- worker traceback ---\n{traceback.format_exc()}"
             ) from exc
     return out
+
+
+def _run_chunk_remote(payload: tuple[Callable[[T], R], list[T],
+                                     list[str] | None, list[str] | None]
+                      ) -> tuple[list[R], list[dict]]:
+    """Pool-worker entry: run a chunk and ship its stage registry back.
+
+    Workers are reused across chunks, so the registry is reset per chunk
+    — the snapshot is exactly this chunk's delta, and the parent's merge
+    is additive across chunks.
+    """
+    reset_stage_timings()
+    out = _run_chunk(payload)
+    return out, snapshot_stage_timings()
 
 
 class ParallelExecutor:
@@ -91,7 +119,8 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[T], R], items: Iterable[T], *,
             chunk_size: int | None = None,
-            labels: Sequence[str] | Callable[[T], str] | None = None
+            labels: Sequence[str] | Callable[[T], str] | None = None,
+            stage_names: Sequence[str] | Callable[[T], str] | None = None
             ) -> list[R]:
         """``[fn(x) for x in items]``, fanned out across processes.
 
@@ -103,6 +132,10 @@ class ParallelExecutor:
         subprocesses) degrades to the in-process path rather than
         failing the evaluation.  ``KeyboardInterrupt`` cancels pending
         chunks and re-raises cleanly instead of dumping a pool traceback.
+
+        ``stage_names`` (a name per item, or a callable) runs each item
+        under that instrumentation stage; pool-worker timings are merged
+        back under the stage active at this call site.
         """
         items = list(items)
         if callable(labels):
@@ -112,9 +145,17 @@ class ParallelExecutor:
             if len(labels) != len(items):
                 raise ValueError(
                     f"{len(labels)} labels for {len(items)} items")
+        if callable(stage_names):
+            stage_names = [stage_names(item) for item in items]
+        elif stage_names is not None:
+            stage_names = list(stage_names)
+            if len(stage_names) != len(items):
+                raise ValueError(
+                    f"{len(stage_names)} stage names for {len(items)} items")
         workers = min(self.n_jobs, len(items))
+        note_worker_count(max(workers, 1))
         if workers <= 1:
-            return _run_chunk((fn, items, labels))
+            return _run_chunk((fn, items, labels, stage_names))
         size = chunk_size or self.chunk_size
         if size is None:
             # a few chunks per worker bounds imbalance without flooding
@@ -124,9 +165,10 @@ class ParallelExecutor:
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             futures = [
-                pool.submit(_run_chunk,
+                pool.submit(_run_chunk_remote,
                             (fn, items[lo:hi],
-                             labels[lo:hi] if labels else None))
+                             labels[lo:hi] if labels else None,
+                             stage_names[lo:hi] if stage_names else None))
                 for lo, hi in bounds]
             chunks = [f.result() for f in futures]
         except KeyboardInterrupt:
@@ -135,15 +177,16 @@ class ParallelExecutor:
                 "interrupted; cancelled pending worker chunks") from None
         except (BrokenProcessPool, OSError):
             pool.shutdown(wait=False, cancel_futures=True)
-            return _run_chunk((fn, items, labels))
+            return _run_chunk((fn, items, labels, stage_names))
         except BaseException:
             # a worker failure: don't hang on the remaining chunks
             pool.shutdown(wait=False, cancel_futures=True)
             raise
         pool.shutdown(wait=True)
         out: list[R] = []
-        for chunk in chunks:
+        for chunk, timings in chunks:
             out.extend(chunk)
+            merge_stage_timings(timings)
         return out
 
     # ------------------------------------------------------------------
@@ -151,10 +194,12 @@ class ParallelExecutor:
                 items: Iterable[Sequence[Any]], *,
                 chunk_size: int | None = None,
                 labels: Sequence[str] | Callable[[Sequence[Any]], str]
-                | None = None) -> list[R]:
+                | None = None,
+                stage_names: Sequence[str]
+                | Callable[[Sequence[Any]], str] | None = None) -> list[R]:
         """Like :meth:`map` but unpacks each item as ``fn(*item)``."""
         return self.map(_Star(fn), items, chunk_size=chunk_size,
-                        labels=labels)
+                        labels=labels, stage_names=stage_names)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(n_jobs={self.n_jobs})"

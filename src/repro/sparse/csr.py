@@ -108,8 +108,18 @@ class CsrMatrix:
         return np.repeat(np.arange(self.n_rows, dtype=np.int64),
                          self.row_lengths())
 
-    def to_dense(self) -> np.ndarray:
-        dense = np.zeros(self.shape)
+    def to_dense(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Dense copy; ``out`` reuses a caller-held buffer (the accuracy
+        audit densifies quarter-GB outputs repeatedly — a fresh zeros()
+        pays first-touch page faults every time)."""
+        if out is None:
+            dense = np.zeros(self.shape)
+        else:
+            if out.shape != self.shape:
+                raise ValueError(
+                    f"out shape {out.shape} != matrix shape {self.shape}")
+            dense = out
+            dense[...] = 0.0
         dense[self.row_of_entry(), self.indices] = self.data
         return dense
 

@@ -15,6 +15,7 @@ import numpy as np
 from ..gpu.counters import KernelStats
 from ..gpu.device import Device
 from ..kernels.base import Workload
+from ..perf.instrument import stage
 from .minikernels import RODINIA_KERNELS, SHOC_KERNELS, MiniKernel
 
 __all__ = ["METRIC_NAMES", "MetricPoint", "metrics_for_stats",
@@ -63,16 +64,17 @@ def suite_metric_points(workloads: list[Workload], device: Device
     """Metric vectors for Rodinia + SHOC mini-kernels and every Cubie
     workload variant (the Figure 11 point cloud)."""
     points: list[MetricPoint] = []
-    mini: tuple[MiniKernel, ...] = RODINIA_KERNELS + SHOC_KERNELS
-    for mk in mini:
-        points.append(MetricPoint(
-            suite=mk.suite, kernel=mk.name,
-            values=metrics_for_stats(mk.stats(), device)))
-    for w in workloads:
-        case = w.representative_case()
-        for v in w.variants():
-            stats = w.analytic_stats(v, case)
+    with stage("analysis.suite_metrics"):
+        mini: tuple[MiniKernel, ...] = RODINIA_KERNELS + SHOC_KERNELS
+        for mk in mini:
             points.append(MetricPoint(
-                suite="Cubie", kernel=f"{w.name}:{v.value}",
-                values=metrics_for_stats(stats, device)))
+                suite=mk.suite, kernel=mk.name,
+                values=metrics_for_stats(mk.stats(), device)))
+        for w in workloads:
+            case = w.representative_case()
+            for v in w.variants():
+                stats = w.analytic_stats(v, case)
+                points.append(MetricPoint(
+                    suite="Cubie", kernel=f"{w.name}:{v.value}",
+                    values=metrics_for_stats(stats, device)))
     return points

@@ -97,6 +97,17 @@ class TestAccuracy:
         with pytest.raises(ValueError, match="no floating-point"):
             accuracy_table(get_workload("bfs"), DEV)
 
+    def test_batched_audit_matches_serial(self):
+        from repro.analysis.accuracy import accuracy_tables
+
+        workloads = [GemvWorkload(), get_workload("reduction"),
+                     get_workload("bfs")]
+        tables = accuracy_tables(workloads, DEV, n_jobs=1)
+        # BFS is silently skipped, not an error
+        assert set(tables) == {"gemv", "reduction"}
+        for w in workloads[:2]:
+            assert tables[w.name] == accuracy_table(w, DEV)
+
 
 class TestRoofline:
     @pytest.fixture(scope="class")

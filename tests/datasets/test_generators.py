@@ -19,6 +19,44 @@ from repro.datasets.suitesparse import (
     matrix_info,
 )
 from repro.datasets.synthetic import Lcg
+from repro.perf.cache import ResultCache, set_default_cache
+
+
+class TestGenerationMemoized:
+    def test_single_generation_per_key(self, tmp_path, monkeypatch):
+        """Each (name, scale, seed) triple is generated at most once —
+        repeats hit the memory cache, and even a cold memory cache only
+        deserializes from disk instead of regenerating."""
+        from repro.datasets import suitesparse
+
+        cache = ResultCache(tmp_path / "cache")
+        previous = set_default_cache(cache)
+        try:
+            calls = []
+            real = suitesparse._generate_matrix_uncached
+
+            def counting(name, scale, seed):
+                calls.append((name, scale, seed))
+                return real(name, scale, seed)
+
+            monkeypatch.setattr(suitesparse, "_generate_matrix_uncached",
+                                counting)
+            name = SPMV_MATRICES[0].name
+            a = generate_matrix(name, scale=0.05)
+            b = generate_matrix(name, scale=0.05)
+            assert len(calls) == 1
+            assert b is a  # memory-cache hit returns the same object
+            # a different key generates again, exactly once
+            generate_matrix(name, scale=0.05, seed=7)
+            assert len(calls) == 2
+            # cold memory cache: disk hit, still no regeneration
+            cache.clear_memory()
+            c = generate_matrix(name, scale=0.05)
+            assert len(calls) == 2
+            np.testing.assert_array_equal(c.data, a.data)
+            np.testing.assert_array_equal(c.indices, a.indices)
+        finally:
+            set_default_cache(previous)
 
 
 class TestMatrixStandins:

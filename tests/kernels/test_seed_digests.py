@@ -29,6 +29,7 @@ from repro.sparse.csr import CsrMatrix
 from .conftest import small_workloads
 
 DIGEST_PATH = Path(__file__).with_name("seed_digests.json")
+ACCURACY_DIGEST_PATH = Path(__file__).with_name("accuracy_digests.json")
 
 #: case indices digested per workload (two for the sparse kernels so both a
 #: banded and a block-dense raggedness profile are pinned)
@@ -77,6 +78,80 @@ def write_digests() -> None:
     print(f"wrote {DIGEST_PATH}")
 
 
+# --------------------------------------------------- accuracy-path digests
+#
+# ``accuracy_digests.json`` pins the numerical outputs of the accuracy
+# engine — Table 6 error metrics, mixed-precision refinement residuals,
+# and Ozaki-scheme errors — as captured *before* the vectorized accuracy
+# engine landed.  The vectorized paths (batched slice-pair sweeps,
+# scratch-based mixed-precision k-loops, buffer-reusing error metrics)
+# must reproduce these bit-for-bit.
+
+def _float_digest(h: "hashlib._Hash", *values: float) -> None:
+    h.update(np.asarray(values, dtype=np.float64).tobytes())
+
+
+def compute_accuracy_digests(full_scale: bool = True) -> dict[str, str]:
+    """Digest the accuracy engine's numerical outputs.
+
+    ``full_scale=True`` digests the real Table 6 audit (the nine
+    floating-point workloads at their exec scale, as ``verify_all`` runs
+    them); the mixed-precision and Ozaki sections are always small.
+    """
+    from repro.analysis.accuracy import _accuracy_table_uncached
+    from repro.analysis.mixed_precision import iterative_refinement
+    from repro.analysis.ozaki import compare_schemes, ozaki_gemm
+    from repro.gpu.isa import Precision
+    from repro.kernels import all_workloads
+
+    out: dict[str, str] = {}
+
+    if full_scale:
+        device = Device("H200")
+        for w in all_workloads():
+            if not w.floating_point:
+                continue
+            h = hashlib.sha256()
+            for e in _accuracy_table_uncached(w, device):
+                h.update(f"{e.workload}/{e.variant}/{e.samples}".encode())
+                _float_digest(h, e.avg_error, e.max_error)
+            out[f"accuracy/{w.name}"] = h.hexdigest()
+
+    rng = np.random.default_rng(1325)
+    m = rng.uniform(-1, 1, (96, 96))
+    b = rng.uniform(-1, 1, 96)
+    for shift, label in ((96.0, "well"), (9.6, "moderate")):
+        a = m @ m.T + shift * np.eye(96)
+        for p in (Precision.FP16, Precision.BF16, Precision.FP32):
+            r = iterative_refinement(a, b, precision=p, tol=1e-12,
+                                     max_iter=40)
+            h = hashlib.sha256()
+            h.update(f"{r.iterations}/{int(r.converged)}".encode())
+            _update_array(h, np.asarray(r.residuals))
+            _update_array(h, r.x)
+            out[f"mixed/{label}/{p.value}"] = h.hexdigest()
+
+    fp16_err, fp64_err, reports = compare_schemes(n=64, max_slices=5)
+    h = hashlib.sha256()
+    _float_digest(h, fp16_err, fp64_err,
+                  *[r.max_error for r in reports])
+    out["ozaki/compare_schemes"] = h.hexdigest()
+
+    ga = rng.uniform(-2, 2, (64, 48))
+    gb = rng.uniform(-2, 2, (48, 32))
+    for s in (1, 3):
+        h = hashlib.sha256()
+        _update_array(h, ozaki_gemm(ga, gb, n_slices=s))
+        out[f"ozaki/gemm/{s}-slices"] = h.hexdigest()
+    return out
+
+
+def write_accuracy_digests() -> None:
+    ACCURACY_DIGEST_PATH.write_text(
+        json.dumps(compute_accuracy_digests(), indent=2) + "\n")
+    print(f"wrote {ACCURACY_DIGEST_PATH}")
+
+
 @pytest.fixture(scope="module")
 def recorded() -> dict[str, str]:
     return json.loads(DIGEST_PATH.read_text())
@@ -89,3 +164,28 @@ def test_all_outputs_bit_identical_to_seed(recorded):
     assert not mismatched, (
         "outputs drifted from the recorded pre-launch-engine digests: "
         f"{mismatched}")
+
+
+@pytest.fixture(scope="module")
+def recorded_accuracy() -> dict[str, str]:
+    return json.loads(ACCURACY_DIGEST_PATH.read_text())
+
+
+def test_mixed_and_ozaki_bit_identical(recorded_accuracy):
+    """The fast sections: refinement residuals and Ozaki error ladders."""
+    fresh = compute_accuracy_digests(full_scale=False)
+    mismatched = [k for k in fresh if fresh[k] != recorded_accuracy[k]]
+    assert not mismatched, (
+        "mixed-precision/Ozaki outputs drifted from the recorded "
+        f"pre-vectorization digests: {mismatched}")
+
+
+@pytest.mark.slow
+def test_accuracy_table_bit_identical(recorded_accuracy):
+    """The full Table 6 audit on all nine floating-point workloads."""
+    fresh = compute_accuracy_digests(full_scale=True)
+    assert fresh.keys() == recorded_accuracy.keys()
+    mismatched = [k for k in recorded_accuracy if fresh[k] != recorded_accuracy[k]]
+    assert not mismatched, (
+        "accuracy outputs drifted from the recorded pre-vectorization "
+        f"digests: {mismatched}")

@@ -6,7 +6,8 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.perf.bench import _group_stages, check_regression
+from repro.perf.bench import (_group_stages, check_regression,
+                              profile_coverage)
 from repro.perf.instrument import reset_stage_timings
 
 
@@ -53,22 +54,107 @@ class TestCheckRegression:
 
 
 class TestGroupStages:
-    def test_groups_by_prefix(self):
+    def test_groups_by_leaf_prefix(self):
         stages = {
             "plan-build:gemv": {"seconds": 1.0, "calls": 3},
             "plan-build:spmv": {"seconds": 0.5, "calls": 2},
             "sweep-execute:gemv": {"seconds": 2.0, "calls": 3},
             "model-resolve": {"seconds": 0.25, "calls": 40},
-            "dataset-generation": {"seconds": 4.0, "calls": 1},
+            # nested: the leaf name decides the group, not the path head
+            "analysis.verify_all/datasets.generate_matrix":
+                {"seconds": 4.0, "self_seconds": 4.0, "calls": 1},
+            "unnamed-thing": {"seconds": 0.5, "calls": 1},
         }
         groups = _group_stages(stages)
         assert groups == {"plan-build": 1.5, "sweep-execute": 2.0,
-                          "model-resolve": 0.25, "other": 4.0}
+                          "model-resolve": 0.25, "dataset-gen": 4.0,
+                          "misc": 0.5}
+
+    def test_self_seconds_preferred_and_other_is_wall_remainder(self):
+        stages = {
+            "analysis.verify_all":
+                {"seconds": 10.0, "self_seconds": 1.0, "calls": 1},
+            "analysis.verify_all/analysis.accuracy_table":
+                {"seconds": 9.0, "self_seconds": 9.0, "calls": 9},
+        }
+        groups = _group_stages(stages, wall=12.0)
+        # self-seconds partition: 1 + 9 attributed, 2 unattributed
+        assert groups["observation-audit"] == pytest.approx(1.0)
+        assert groups["accuracy-audit"] == pytest.approx(9.0)
+        assert groups["other"] == pytest.approx(2.0)
+
+    def test_coverage_ratio(self):
+        stages = {
+            "a": {"seconds": 6.0, "self_seconds": 4.0, "calls": 1},
+            "a/b": {"seconds": 2.0, "self_seconds": 2.0, "calls": 1},
+        }
+        assert profile_coverage(stages, 8.0) == pytest.approx(0.75)
+        assert profile_coverage(stages, 0.0) == 0.0
+        # attributed can overshoot wall by timer noise; clamp to 1
+        assert profile_coverage(stages, 5.0) == 1.0
 
     def test_empty(self):
-        assert _group_stages({}) == {"plan-build": 0.0,
-                                     "sweep-execute": 0.0,
-                                     "model-resolve": 0.0, "other": 0.0}
+        assert _group_stages({}, wall=1.0) == {"other": 1.0}
+
+
+class TestBudgets:
+    def _baseline(self, tmp_path, budgets):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "schema": 2,
+            "benches": {"observations": {"cold_s": 10.0}},
+            "budgets": budgets}))
+        return path
+
+    def test_cold_budget_enforced(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"cold_max_s": 8.0}})
+        issues = check_regression(
+            {"observations": {"cold_s": 9.0, "warm_s": 1.0}}, base)
+        assert any("budget" in i for i in issues)
+
+    def test_warm_budget_enforced(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"warm_max_s": 1.5}})
+        issues = check_regression(
+            {"observations": {"cold_s": 5.0, "warm_s": 2.0}}, base)
+        assert any("warm" in i and "budget" in i for i in issues)
+
+    def test_coverage_floor_enforced_only_with_profile(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"min_coverage": 0.9}})
+        with_prof = {"observations": {
+            "cold_s": 5.0, "warm_s": 1.0,
+            "profile": {"coverage": 0.5}}}
+        issues = check_regression(with_prof, base)
+        assert any("coverage" in i for i in issues)
+        # no profile attached -> the floor cannot be evaluated, passes
+        without = {"observations": {"cold_s": 5.0, "warm_s": 1.0}}
+        assert check_regression(without, base) == []
+
+    def test_within_budgets_passes(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"cold_max_s": 8.0,
+                                        "warm_max_s": 1.5,
+                                        "min_coverage": 0.9}})
+        results = {"observations": {
+            "cold_s": 7.0, "warm_s": 1.0,
+            "profile": {"coverage": 0.95}}}
+        assert check_regression(results, base) == []
+
+
+class TestWriteBenchJson:
+    def test_budgets_survive_rewrite(self, tmp_path):
+        from repro.perf.bench import write_bench_json
+        out = tmp_path / "BENCH_perf.json"
+        budgets = {"observations": {"cold_max_s": 8.0}}
+        write_bench_json(out, {"observations": {"cold_s": 5.0}},
+                         budgets=budgets)
+        # a later refresh without explicit budgets keeps the block
+        write_bench_json(out, {"observations": {"cold_s": 4.0}})
+        doc = json.loads(out.read_text())
+        assert doc["budgets"] == budgets
+        assert doc["benches"]["observations"]["cold_s"] == 4.0
 
 
 class TestStageJsonDump:
@@ -82,11 +168,18 @@ class TestStageJsonDump:
         rc = main(["accuracy", "--workload", "gemv", "--gpu", "H200"])
         assert rc == 0
         payload = json.loads(out.read_text())
-        assert "model-resolve" in payload
-        assert any(name.startswith("sweep-execute:gemv")
-                   for name in payload)
-        for rec in payload.values():
+        stages = payload["stages"]
+        leaves = {name.rsplit("/", 1)[-1] for name in stages}
+        assert "model-resolve" in leaves
+        assert any(leaf.startswith("sweep-execute:gemv")
+                   for leaf in leaves)
+        # every stage nests under the command root
+        assert all(name == "cli.startup"
+                   or name.startswith("cli.accuracy")
+                   for name in stages)
+        for rec in stages.values():
             assert rec["seconds"] >= 0.0
+            assert 0.0 <= rec["self_seconds"] <= rec["seconds"] + 1e-9
             assert rec["calls"] >= 1
 
     def test_no_dump_without_env(self, tmp_path, monkeypatch, capsys):

@@ -36,6 +36,40 @@ class TestResolveNJobs:
             ParallelExecutor(0)
 
 
+class TestWorkerSizing:
+    def test_explicit_jobs_beats_cpu_count(self, monkeypatch):
+        """--jobs wins over the detected core count: a 1-core box still
+        gets the requested pool width, and the effective worker count is
+        recorded for --timings."""
+        import repro.perf.executor as executor_mod
+        from repro.perf import instrument
+
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        assert resolve_n_jobs(4) == 4
+        instrument.reset_stage_timings()
+        ex = ParallelExecutor(4)
+        assert ex.n_jobs == 4
+        out = ex.map(_square, range(8), chunk_size=2)
+        assert out == [i * i for i in range(8)]
+        assert instrument.stage_meta().get("max_workers") == 4
+        instrument.reset_stage_timings()
+
+    def test_worker_count_capped_by_items(self):
+        from repro.perf import instrument
+
+        instrument.reset_stage_timings()
+        ParallelExecutor(8).map(_square, range(3))
+        assert instrument.stage_meta().get("max_workers") == 3
+        instrument.reset_stage_timings()
+
+    def test_cpu_count_is_only_a_fallback(self, monkeypatch):
+        import repro.perf.executor as executor_mod
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        assert resolve_n_jobs() == 1
+
+
 class TestChunking:
     def test_bounds_cover_exactly(self):
         assert _chunk_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
