@@ -14,6 +14,10 @@ Rules are specific to this codebase's invariants (see docs/CHECK.md):
   counters are built through the counter API (``add_*``/``read_dram``/
   ``note_*``), never by direct field assignment, so the execute vs
   analytic-stats agreement tests check real accounting code.
+* ``R008`` fault-site-registry — every ``faults.site(...)`` call names a
+  string literal declared in :mod:`repro.faults.registry`, so the
+  registry stays the complete, auditable inventory of what a chaos run
+  can inject (docs/ROBUSTNESS.md).
 
 Rule scoping is by path relative to the ``repro`` package root, which lets
 tests lint synthetic package trees laid out the same way.
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..faults.registry import SITE_NAMES
 from .findings import Finding
 
 __all__ = [
@@ -223,6 +228,39 @@ def _check_kernelstats_api(tree: ast.Module, relpath: str) -> list[Finding]:
     return out
 
 
+#: how a resolved call name can end and still be the fault-site probe
+_FAULT_SITE_TAILS = ("faults.site", "faults.plan.site")
+
+
+def _check_fault_sites(tree: ast.Module, relpath: str) -> list[Finding]:
+    resolver = _ImportResolver()
+    resolver.visit(tree)
+    names = resolver.names
+    out: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        full = _resolve_dotted(node.func, names)
+        if full is None or not full.endswith(_FAULT_SITE_TAILS):
+            continue
+        arg = node.args[0] if node.args else None
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            out.append(Finding(
+                rule="R008", severity="error", path=relpath,
+                symbol=full, line=node.lineno,
+                message="fault-site name must be a string literal so the "
+                        "registry check (and chaos-plan audit) can see it"))
+            continue
+        if arg.value not in SITE_NAMES:
+            out.append(Finding(
+                rule="R008", severity="error", path=relpath,
+                symbol=arg.value, line=node.lineno,
+                message=f"fault site {arg.value!r} is not declared in "
+                        "repro.faults.registry; add a FaultSite entry "
+                        "(name, layer, description) first"))
+    return out
+
+
 LINT_RULES: tuple[LintRule, ...] = (
     LintRule("R001", "no-unseeded-rng", "error",
              lambda p: _in_packages(p, MODEL_PACKAGES),
@@ -234,6 +272,9 @@ LINT_RULES: tuple[LintRule, ...] = (
     LintRule("R007", "kernelstats-api", "error",
              lambda p: not p.startswith("gpu/"),
              _check_kernelstats_api),
+    LintRule("R008", "fault-site-registry", "error",
+             lambda p: True,
+             _check_fault_sites),
 )
 # R002 shares R001's checker (one resolution pass emits both rule ids);
 # both are scoped by MODEL_PACKAGES through the R001 entry above.

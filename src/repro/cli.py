@@ -17,8 +17,11 @@ Beyond the artifact, the serving stack (docs/SERVE.md):
 
 * ``serve``      — the async TCP characterization-query service
 * ``query``      — one-shot client (``--local`` runs in-process)
-* ``loadgen``    — closed-loop load generator + CI gate
+* ``loadgen``    — closed-loop load generator + CI gate (``--chaos``
+  drives it under an installed fault plan)
 * ``cache``      — result-cache footprint: ``stats`` and LRU ``prune``
+* ``sweep``      — size sweep with a per-point checkpoint journal;
+  ``--resume`` continues a killed run bit-identically
 """
 
 from __future__ import annotations
@@ -269,6 +272,7 @@ def _serve_config(args: argparse.Namespace):
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .serve import CharacterizationService
 
@@ -279,8 +283,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host, port = await service.start_tcp()
         print(f"repro serve: listening on {host}:{port} "
               f"({service.pool.mode} pool, {config.workers} workers); "
-              f"Ctrl-C stops")
-        await service.serve_forever()
+              f"Ctrl-C stops, SIGTERM drains")
+        loop = asyncio.get_running_loop()
+        forever = asyncio.ensure_future(service.serve_forever())
+
+        def _drain() -> None:
+            # stop accepting, let in-flight jobs finish (serve_forever's
+            # finally runs stop(), which drains the scheduler), then exit
+            print("repro serve: SIGTERM — draining in-flight queries",
+                  file=sys.stderr)
+            forever.cancel()
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handlers (e.g. Windows loop)
+        try:
+            await forever
+        finally:
+            counters = service.telemetry.snapshot().get("counters", {})
+            print("repro serve: drained; "
+                  + json.dumps(counters, sort_keys=True), file=sys.stderr)
 
     asyncio.run(_main())
     return 0
@@ -317,6 +340,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
+    from . import faults
     from .serve import (
         HostedService,
         format_loadgen_report,
@@ -324,28 +348,86 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         run_loadgen,
     )
 
+    verify = args.verify
+    client_retries = 2
+    if args.chaos is not None:
+        if not args.self_host:
+            raise SystemExit("--chaos needs --self-host: the fault plan "
+                             "must be installed in the server process")
+        rate = args.chaos
+        faults.install_plan(
+            f"serve.conn_drop={rate:g},executor.worker_crash={rate:g},"
+            f"cache.read_corrupt={rate:g},cache.write_fail={rate:g},"
+            f"seed={args.chaos_seed}")
+        verify = True       # chaos without answer checking proves nothing
+        client_retries = 8  # sustained drops need headroom to converge
+
     def _run(host: str, port: int) -> dict:
         return run_loadgen(host, port, clients=args.clients,
                            duration_s=args.duration,
-                           deadline_s=args.deadline, fresh=args.fresh)
+                           deadline_s=args.deadline, fresh=args.fresh,
+                           verify=verify, client_retries=client_retries)
 
-    if args.self_host:
-        config = _serve_config(args)
-        config = type(config)(**{**config.__dict__,
-                                 "host": "127.0.0.1", "port": 0})
-        with HostedService(config) as hosted:
-            host, port = hosted.address
-            summary = _run(host, port)
-    else:
-        summary = _run(args.host, args.port)
+    try:
+        if args.self_host:
+            config = _serve_config(args)
+            config = type(config)(**{**config.__dict__,
+                                     "host": "127.0.0.1", "port": 0})
+            with HostedService(config) as hosted:
+                host, port = hosted.address
+                summary = _run(host, port)
+        else:
+            summary = _run(args.host, args.port)
+    finally:
+        if args.chaos is not None:
+            faults.clear_plan()
     print(format_loadgen_report(summary))
     failures = loadgen_failures(summary, p99_max_s=args.p99_max,
-                                min_reuse_rate=args.min_reuse)
+                                min_reuse_rate=args.min_reuse,
+                                max_retry_rate=args.max_retry_rate)
     for failure in failures:
         print(f"LOADGEN GATE: {failure}")
     if not failures:
         print("loadgen gate: ok")
     return 1 if failures else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from .harness.checkpoint import (
+        SweepJournal,
+        resumable_sweep,
+        serialize_payload,
+    )
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume needs --journal pointing at the "
+                         "checkpoint file of the interrupted run")
+    try:
+        variants = tuple(Variant(v) for v in args.variant)
+    except ValueError as exc:
+        raise SystemExit(f"unknown variant: {exc}") from None
+    journal = SweepJournal(args.journal) if args.journal else None
+    reused = 0
+    if journal is not None and args.resume:
+        reused = len(journal.load())
+    payload = resumable_sweep(args.workload, Device(args.gpu[0]), variants,
+                              journal=journal, resume=args.resume,
+                              n_jobs=args.jobs)
+    text = serialize_payload(payload)
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    n_points = len(payload["points"])
+    print(f"sweep {args.workload}: {n_points} points "
+          f"({reused} grid points resumed from journal), "
+          f"crossover={payload['crossover']}, payload sha256={digest}",
+          file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -358,6 +440,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
                 for kind, (n, b) in stats.kinds.items()]
         rows.append(["total", stats.total_entries,
                      format_si(float(stats.total_bytes), "B")])
+        if stats.quarantined_entries:
+            rows.append(["quarantined", stats.quarantined_entries,
+                         format_si(float(stats.quarantined_bytes), "B")])
         cap = "unbounded" if stats.max_disk_bytes is None \
             else format_si(float(stats.max_disk_bytes), "B")
         print(format_table(["kind", "entries", "bytes"], rows,
@@ -541,7 +626,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-reuse", type=float, default=None,
                    help="fail when the coalesce-or-cache rate is below "
                         "this fraction")
+    p.add_argument("--chaos", type=float, default=None, metavar="RATE",
+                   help="install a fault plan firing conn drops, worker "
+                        "crashes, and cache corruption at RATE (implies "
+                        "--verify; needs --self-host)")
+    p.add_argument("--chaos-seed", type=int, default=7,
+                   help="fault-plan seed for --chaos (default: 7)")
+    p.add_argument("--verify", action="store_true",
+                   help="digest every OK answer against the in-process "
+                        "deterministic reference; any mismatch fails")
+    p.add_argument("--max-retry-rate", type=float, default=None,
+                   help="fail when connection retries exceed this "
+                        "fraction of completed requests")
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser("sweep",
+                       help="size sweep with per-point checkpoint journal "
+                            "(kill-safe; --resume continues)")
+    p.add_argument("workload",
+                   help="size-parameterized workload: gemm, gemv, fft, "
+                        "stencil, scan, reduction")
+    p.add_argument("--gpu", nargs="+", default=["H200"])
+    p.add_argument("--variant", nargs="*", default=["baseline", "tc"],
+                   help="variants to evaluate (default: baseline tc)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or CPUs)")
+    p.add_argument("--journal", default=None,
+                   help="JSON-lines checkpoint file; each completed grid "
+                        "point is journaled durably")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse points already in --journal instead of "
+                        "recomputing them")
+    p.add_argument("--out", default=None,
+                   help="write the canonical payload here instead of "
+                        "stdout")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("cache",
                        help="result-cache footprint: stats and LRU prune")

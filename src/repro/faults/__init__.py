@@ -1,0 +1,49 @@
+"""``repro.faults`` — deterministic, seeded fault injection.
+
+The robustness layer's chaos harness (docs/ROBUSTNESS.md): a closed
+registry of named fault sites (:mod:`repro.faults.registry`), a
+``REPRO_FAULTS`` plan spec mapping sites to firing rates under one seed,
+and :func:`site` — the single question the instrumented code paths ask
+(``faults.site("executor.worker_crash", key=...)``).  Draws are pure
+functions of the plan (keyed hash or per-site LCG stream), so a chaos
+run injects the *same* crashes, corruptions, and drops every time.
+
+The recovery contract: every injected fault must be survived with
+outputs bit-identical to a fault-free run — retried chunks replay the
+same deterministic task, quarantined cache entries recompute from the
+same seeds, dropped connections re-ask idempotent content-keyed queries.
+The chaos-smoke CI job enforces this against the recorded digests.
+"""
+
+from .plan import (
+    DEFAULT_SEED,
+    ENV_VAR,
+    FaultPlan,
+    FaultPlanError,
+    active_plan,
+    clear_plan,
+    fault_stats,
+    install_plan,
+    parse_plan,
+    reset_fault_state,
+    site,
+)
+from .registry import FAULT_SITES, FaultSite, SITE_NAMES, is_registered
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSite",
+    "SITE_NAMES",
+    "active_plan",
+    "clear_plan",
+    "fault_stats",
+    "install_plan",
+    "is_registered",
+    "parse_plan",
+    "reset_fault_state",
+    "site",
+]

@@ -1,0 +1,243 @@
+"""Deterministic, seeded fault plans: parsing, draws, accounting.
+
+A *plan* maps registered fault sites to firing rates, plus one seed::
+
+    REPRO_FAULTS="executor.worker_crash=0.15,cache.read_corrupt=0.1,seed=7"
+
+Entries are comma- (or semicolon-) separated ``site=rate`` pairs; ``rate``
+is a probability in ``[0, 1]``; ``seed=<int>`` may appear anywhere (default
+1325, the repo's LCG seed).  A trailing ``.*`` glob applies one rate to
+every registered site under a prefix: ``executor.*=0.2``.  Unknown site
+names are rejected at parse time (and statically by lint rule ``R008``).
+
+Whether a given :func:`site` call fires is a pure function of the plan —
+never of wall-clock time or process scheduling — so chaos runs are
+reproducible:
+
+* **keyed draws** (``site(name, key=...)``) hash ``(seed, name, key)``;
+  the same logical event (e.g. chunk 3, retry attempt 1) draws the same
+  verdict in every run and in every process.
+* **stream draws** (``site(name)``) step a per-site 32-bit LCG seeded
+  from ``(seed, name)``; the n-th call in a process always draws the
+  same verdict for a given seed.
+
+The plan is read lazily from ``REPRO_FAULTS`` once per process (pool
+workers inherit the environment, so an injected executor crash plan
+reaches them); :func:`install_plan` both sets the environment — for
+children — and resets this process's cached plan and stream state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .registry import SITE_NAMES
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "active_plan",
+    "clear_plan",
+    "fault_stats",
+    "install_plan",
+    "parse_plan",
+    "reset_fault_state",
+    "site",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+DEFAULT_SEED = 1325
+
+#: the repo's LINPACK-style LCG constants (32-bit)
+_LCG_A = 1664525
+_LCG_C = 1013904223
+_LCG_MASK = 0xFFFFFFFF
+
+
+class FaultPlanError(ValueError):
+    """A ``REPRO_FAULTS`` spec that cannot be parsed or names no site."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed, validated fault plan: per-site rates plus the seed."""
+
+    rates: Mapping[str, float] = field(default_factory=dict)
+    seed: int = DEFAULT_SEED
+    #: the spec this plan was parsed from (diagnostics / re-install)
+    spec: str = ""
+
+    def rate(self, name: str) -> float:
+        return self.rates.get(name, 0.0)
+
+    def to_spec(self) -> str:
+        """Canonical spec string that parses back to this plan."""
+        parts = [f"{name}={self.rates[name]:g}"
+                 for name in sorted(self.rates)]
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec (see module docstring)."""
+    rates: dict[str, float] = {}
+    seed = DEFAULT_SEED
+    entries = [e.strip() for part in spec.split(";")
+               for e in part.split(",")]
+    for entry in entries:
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise FaultPlanError(
+                f"fault-plan entry {entry!r} is not 'site=rate'")
+        name, raw = (s.strip() for s in entry.split("=", 1))
+        if name == "seed":
+            try:
+                seed = int(raw)
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"fault-plan seed must be an integer, got {raw!r}"
+                ) from exc
+            continue
+        try:
+            rate = float(raw)
+        except ValueError as exc:
+            raise FaultPlanError(
+                f"rate for {name!r} must be a float, got {raw!r}") from exc
+        if not 0.0 <= rate <= 1.0:
+            raise FaultPlanError(
+                f"rate for {name!r} must be in [0, 1], got {rate}")
+        if name.endswith(".*"):
+            prefix = name[:-1]  # keep the dot
+            matched = [s for s in SITE_NAMES if s.startswith(prefix)]
+            if not matched:
+                raise FaultPlanError(
+                    f"fault-site glob {name!r} matches no registered site; "
+                    f"registered: {sorted(SITE_NAMES)}")
+            for s in matched:
+                rates[s] = rate
+        elif name in SITE_NAMES:
+            rates[name] = rate
+        else:
+            raise FaultPlanError(
+                f"unknown fault site {name!r}; registered: "
+                f"{sorted(SITE_NAMES)}")
+    return FaultPlan(rates=dict(rates), seed=seed, spec=spec)
+
+
+# ------------------------------------------------------------- live state
+
+_lock = threading.Lock()
+#: (env spec the plan was parsed from, plan) — None until first lookup
+_cached: tuple[str, FaultPlan | None] | None = None
+_streams: dict[str, int] = {}
+_fires: dict[str, int] = {}
+_draws: dict[str, int] = {}
+
+
+def active_plan() -> FaultPlan | None:
+    """The process's plan from ``REPRO_FAULTS`` (None when unset/empty)."""
+    global _cached
+    spec = os.environ.get(ENV_VAR, "")
+    with _lock:
+        if _cached is not None and _cached[0] == spec:
+            return _cached[1]
+        plan = parse_plan(spec) if spec.strip() else None
+        if plan is not None and not plan.rates:
+            plan = None
+        _cached = (spec, plan)
+        _streams.clear()
+        return plan
+
+
+def install_plan(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Set the plan for this process *and* its future children.
+
+    Writes the spec to ``os.environ[REPRO_FAULTS]`` (pool workers and
+    subprocesses inherit it) and resets the cached plan, stream state,
+    and fire counters.  ``None`` clears the plan.
+    """
+    if isinstance(plan, str):
+        plan = parse_plan(plan)
+    if plan is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.spec or plan.to_spec()
+    reset_fault_state()
+    return plan
+
+
+def clear_plan() -> None:
+    """Remove the plan from this process and the environment."""
+    install_plan(None)
+
+
+def reset_fault_state() -> None:
+    """Drop the cached plan, stream positions, and fire counters."""
+    global _cached
+    with _lock:
+        _cached = None
+        _streams.clear()
+        _fires.clear()
+        _draws.clear()
+
+
+def fault_stats() -> dict[str, dict[str, int]]:
+    """Per-site ``{draws, fires}`` counters for this process."""
+    with _lock:
+        return {name: {"draws": _draws.get(name, 0),
+                       "fires": _fires.get(name, 0)}
+                for name in sorted(set(_draws) | set(_fires))}
+
+
+def _stream_seed(seed: int, name: str) -> int:
+    h = hashlib.sha256(f"{seed}|{name}".encode()).digest()
+    return int.from_bytes(h[:4], "big")
+
+
+def _keyed_unit(seed: int, name: str, key: str) -> float:
+    h = hashlib.sha256(f"{seed}|{name}|{key}".encode()).digest()
+    return int.from_bytes(h[:8], "big") / float(1 << 64)
+
+
+def site(name: str, key: str | int | None = None) -> bool:
+    """Should the fault at ``name`` fire here?
+
+    With ``key``, the verdict is a pure hash of ``(seed, name, key)`` —
+    use a key naming the logical event (chunk index + retry attempt,
+    cache key, grid-point key) so reruns and other processes agree.
+    Without a key, the verdict comes from the site's per-process LCG
+    stream (the n-th call draws the n-th value).
+
+    Returns ``False`` immediately when no plan is installed; when one
+    is, ``name`` must be a registered site.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    if name not in SITE_NAMES:
+        raise KeyError(
+            f"undeclared fault site {name!r}; declare it in "
+            f"repro.faults.registry (registered: {sorted(SITE_NAMES)})")
+    rate = plan.rate(name)
+    if rate <= 0.0:
+        return False
+    with _lock:
+        _draws[name] = _draws.get(name, 0) + 1
+        if key is not None:
+            unit = _keyed_unit(plan.seed, name, str(key))
+        else:
+            state = _streams.get(name)
+            if state is None:
+                state = _stream_seed(plan.seed, name)
+            state = (_LCG_A * state + _LCG_C) & _LCG_MASK
+            _streams[name] = state
+            unit = state / float(1 << 32)
+        fired = unit < rate
+        if fired:
+            _fires[name] = _fires.get(name, 0) + 1
+    return fired

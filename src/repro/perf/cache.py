@@ -18,6 +18,17 @@ of the generating modules' source (:func:`source_token`), and functional
 execution keys mix in a hash of the whole package
 (:func:`package_source_token`), so editing code never serves stale
 results.  ``REPRO_CACHE=0`` disables the disk tier entirely.
+
+Integrity (docs/ROBUSTNESS.md): every disk entry carries a checksum
+trailer (magic + SHA-256 of the pickled payload) written with the entry.
+A load whose trailer does not verify — bit rot, torn write, or an
+injected ``cache.read_corrupt`` fault — is *quarantined*: the file moves
+to ``_quarantine/`` (outside the size ledger and the ``*.pkl`` glob, so
+it can never be served or counted again) and the value is recomputed from
+seeds, which by the determinism guarantee reproduces it bit-identically.
+``cache.write_fail`` exercises the other contract: a dropped write is
+silently absorbed because caching is best-effort — correctness never
+depends on a write landing.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, fields, is_dataclass
@@ -35,6 +47,8 @@ from types import ModuleType
 from typing import Any, Callable, TypeVar
 
 import numpy as np
+
+from .. import faults
 
 __all__ = [
     "CacheStats",
@@ -54,7 +68,38 @@ __all__ = [
 T = TypeVar("T")
 
 #: bump when the on-disk entry format changes (invalidates every entry)
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
+
+#: trailer = magic + first 16 bytes of SHA-256 over the pickled payload
+_TRAILER_MAGIC = b"RPRC\x02"
+_TRAILER_DIGEST_LEN = 16
+_TRAILER_LEN = len(_TRAILER_MAGIC) + _TRAILER_DIGEST_LEN
+
+#: quarantined entries kept for post-mortem before rotation drops the oldest
+_QUARANTINE_KEEP = 32
+
+#: orphaned ``*.tmp`` files (a writer died mid-write) older than this are
+#: swept during pruning; young ones may still be racing toward os.replace
+_STALE_TMP_S = 3600.0
+
+
+def _seal(payload: bytes) -> bytes:
+    """Append the integrity trailer to a pickled payload."""
+    digest = hashlib.sha256(payload).digest()[:_TRAILER_DIGEST_LEN]
+    return payload + _TRAILER_MAGIC + digest
+
+
+def _unseal(blob: bytes) -> bytes:
+    """Verify and strip the trailer; raises ``ValueError`` on any mismatch."""
+    if len(blob) <= _TRAILER_LEN:
+        raise ValueError("cache entry shorter than its integrity trailer")
+    payload, trailer = blob[:-_TRAILER_LEN], blob[-_TRAILER_LEN:]
+    if trailer[:len(_TRAILER_MAGIC)] != _TRAILER_MAGIC:
+        raise ValueError("cache entry missing integrity trailer magic")
+    digest = hashlib.sha256(payload).digest()[:_TRAILER_DIGEST_LEN]
+    if trailer[len(_TRAILER_MAGIC):] != digest:
+        raise ValueError("cache entry failed checksum verification")
+    return payload
 
 
 def cache_enabled() -> bool:
@@ -219,6 +264,9 @@ class DiskStats:
     #: per-kind (subdirectory) entry and byte counts
     kinds: dict[str, tuple[int, int]]
     max_disk_bytes: int | None
+    #: corrupt entries parked in ``_quarantine/`` — outside the ledger above
+    quarantined_entries: int = 0
+    quarantined_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -238,8 +286,12 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
-    #: on-disk entries that failed to load (corruption => recompute)
+    #: entries whose pickled payload failed to decode (=> recompute)
     load_errors: int = 0
+    #: entries whose checksum trailer failed to verify (=> recompute)
+    integrity_failures: int = 0
+    #: corrupt entries moved aside to ``_quarantine/``
+    quarantined: int = 0
 
     @property
     def hits(self) -> int:
@@ -284,16 +336,50 @@ class ResultCache:
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
 
+    def _quarantine(self, path: Path) -> None:
+        """Park a corrupt entry under ``_quarantine/`` for post-mortem.
+
+        The ``.quar`` suffix and the reserved directory keep quarantined
+        files out of the ``*/*.pkl`` entry glob — they are never served
+        again and never count toward the size ledger.  Best-effort: if the
+        move fails the file is deleted instead (a corrupt entry must not
+        survive in place, or every future lookup re-fails on it).
+        """
+        dest_dir = self.directory / "_quarantine"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / f"{path.parent.name}__{path.stem}.quar")
+            self.stats.quarantined += 1
+        except OSError:  # pragma: no cover - raced deletion / odd fs
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
     def _disk_load(self, path: Path) -> tuple[bool, Any]:
         if not self.disk:
             return False, None
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            blob = path.read_bytes()
         except FileNotFoundError:
             return False, None
-        except Exception:  # truncated/corrupt entry: recompute
+        except OSError:  # pragma: no cover - unreadable store
             self.stats.load_errors += 1
+            return False, None
+        if faults.site("cache.read_corrupt", key=path.stem) and blob:
+            mid = len(blob) // 2  # injected bit rot: flip one payload byte
+            blob = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1:]
+        try:
+            payload = _unseal(blob)
+        except ValueError:  # failed checksum: quarantine and recompute
+            self.stats.integrity_failures += 1
+            self._quarantine(path)
+            return False, None
+        try:
+            value = pickle.loads(payload)
+        except Exception:  # verified bytes that won't decode: stale schema
+            self.stats.load_errors += 1
+            self._quarantine(path)
             return False, None
         try:
             os.utime(path)  # refresh mtime: the LRU recency for pruning
@@ -304,18 +390,25 @@ class ResultCache:
     def _disk_store(self, path: Path, value: Any) -> None:
         if not self.disk:
             return
+        if faults.site("cache.write_fail", key=path.stem):
+            return  # injected full/failing disk: drop the write
+        try:
+            blob = _seal(pickle.dumps(value,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return  # unpicklable: caching is best-effort
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(blob)
                 os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
                 raise
-        except (OSError, pickle.PicklingError):
-            return  # unwritable/unpicklable: caching is best-effort
+        except OSError:
+            return  # unwritable: caching is best-effort
         if self.max_disk_bytes is not None:
             self._writes_since_prune += 1
             if self._writes_since_prune >= self.PRUNE_EVERY:
@@ -361,8 +454,23 @@ class ResultCache:
             entries.append((path, st.st_size, st.st_mtime))
         return entries
 
+    def _quarantine_entries(self) -> list[tuple[Path, int, float]]:
+        entries = []
+        for path in (self.directory / "_quarantine").glob("*.quar"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            entries.append((path, st.st_size, st.st_mtime))
+        return entries
+
     def disk_stats(self) -> DiskStats:
-        """Size and entry counts of the on-disk tier, per kind."""
+        """Size and entry counts of the on-disk tier, per kind.
+
+        Quarantined files are reported separately and excluded from the
+        entry/byte ledger: they are dead weight awaiting post-mortem, not
+        servable cache contents.
+        """
         kinds: dict[str, tuple[int, int]] = {}
         total_entries = total_bytes = 0
         for path, size, _ in self._disk_entries():
@@ -371,19 +479,27 @@ class ResultCache:
             kinds[kind] = (n + 1, b + size)
             total_entries += 1
             total_bytes += size
+        quarantined = self._quarantine_entries()
         return DiskStats(directory=str(self.directory),
                          total_entries=total_entries,
                          total_bytes=total_bytes,
                          kinds=dict(sorted(kinds.items())),
-                         max_disk_bytes=self.max_disk_bytes)
+                         max_disk_bytes=self.max_disk_bytes,
+                         quarantined_entries=len(quarantined),
+                         quarantined_bytes=sum(s for _, s, _ in quarantined))
 
     def prune(self, max_bytes: int | None = None) -> PruneResult:
         """Evict least-recently-used entries until the store fits.
 
         Recency is the entry's mtime, refreshed on every disk hit, so
         eviction order approximates true LRU across processes.  With no
-        cap configured and no ``max_bytes`` given this is a no-op.
+        cap configured and no ``max_bytes`` given, eviction is a no-op —
+        but every pass still sweeps crash debris: orphaned ``*.tmp``
+        files from writers that died mid-write (older than an hour, so
+        in-flight writes are never raced), and quarantined entries beyond
+        the newest :data:`_QUARANTINE_KEEP`.
         """
+        self._sweep_debris()
         cap = self.max_disk_bytes if max_bytes is None else max_bytes
         entries = self._disk_entries()
         total = sum(size for _, size, _ in entries)
@@ -405,6 +521,25 @@ class ResultCache:
             remaining_entries=len(entries) - removed_entries,
             remaining_bytes=total,
         )
+
+    def _sweep_debris(self) -> None:
+        """Crash-safe cleanup: stale temp files and excess quarantine."""
+        if not self.directory.is_dir():
+            return
+        cutoff = time.time() - _STALE_TMP_S
+        for tmp in self.directory.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+        quarantined = sorted(self._quarantine_entries(),
+                             key=lambda e: e[2], reverse=True)
+        for path, _, _ in quarantined[_QUARANTINE_KEEP:]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ResultCache({str(self.directory)!r}, disk={self.disk}, "

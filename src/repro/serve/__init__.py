@@ -18,12 +18,13 @@ harness).  Protocol and degradation semantics: docs/SERVE.md.
 """
 
 from .admission import AdmissionController, CircuitBreaker, TokenBucket
-from .client import InProcessClient, ServeClient
+from .client import InProcessClient, ServeClient, ServeConnectionError
 from .loadgen import (
     DEFAULT_MIX,
     HostedService,
     format_loadgen_report,
     loadgen_failures,
+    reference_digests,
     run_loadgen,
 )
 from .protocol import (
@@ -50,10 +51,12 @@ __all__ = [
     "TokenBucket",
     "InProcessClient",
     "ServeClient",
+    "ServeConnectionError",
     "DEFAULT_MIX",
     "HostedService",
     "format_loadgen_report",
     "loadgen_failures",
+    "reference_digests",
     "run_loadgen",
     "ERROR_CODES",
     "PROTOCOL_VERSION",

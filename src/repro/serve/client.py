@@ -6,12 +6,23 @@ queries.  :class:`InProcessClient` wraps a
 :class:`~repro.serve.server.CharacterizationService` directly for
 embedding the service into another asyncio program (or test) without a
 socket in between.
+
+Transport failures are survivable (docs/ROBUSTNESS.md): every query is
+idempotent — answers are content-keyed and deterministic — so a dropped
+connection (reset, short read, server drain) raises the typed
+:class:`ServeConnectionError` naming the endpoint and query kind, and
+:meth:`ServeClient.query` transparently reconnects and re-asks up to
+``retries`` times with deterministic jittered exponential backoff.  Only
+connection-level failures are retried; server-side errors come back as
+``ok: false`` responses and protocol violations raise immediately.
 """
 
 from __future__ import annotations
 
-import socket
+import time
 from typing import Any, Mapping
+
+import socket
 
 from .protocol import (
     ProtocolError,
@@ -22,17 +33,51 @@ from .protocol import (
     normalize_params,
 )
 
-__all__ = ["InProcessClient", "ServeClient"]
+__all__ = ["InProcessClient", "ServeClient", "ServeConnectionError"]
+
+
+class ServeConnectionError(ProtocolError):
+    """The connection to the server died mid-query.
+
+    Carries the endpoint and the query kind so a failure inside a load
+    generator or sweep names exactly which call to which server dropped —
+    not just a bare ``ConnectionResetError``.  Subclasses
+    :class:`ProtocolError` (code ``conn_dropped``) so existing handlers
+    that catch protocol errors keep working.
+    """
+
+    def __init__(self, host: str, port: int, kind: str,
+                 detail: str) -> None:
+        super().__init__(
+            "conn_dropped",
+            f"connection to {host}:{port} dropped during {kind!r} query: "
+            f"{detail}")
+        self.host = host
+        self.port = port
+        self.kind = kind
 
 
 class ServeClient:
-    """Blocking TCP client: one JSON line out, one JSON line back."""
+    """Blocking TCP client: one JSON line out, one JSON line back.
+
+    ``retries`` bounds how many times a dropped connection is re-asked
+    (0 disables); backoff between attempts is ``backoff_base_s * 2**n``
+    capped at ``backoff_cap_s``, jittered deterministically from the
+    attempt counter so concurrent clients do not stampede in lockstep.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7341, *,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0, retries: int = 2,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 1.0) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        #: connection-drop retries performed over this client's lifetime
+        self.retry_count = 0
         self._sock: socket.socket | None = None
         self._file = None
         self._counter = 0
@@ -68,35 +113,77 @@ class ServeClient:
         self.close()
 
     # --------------------------------------------------------------- query
+    def _backoff_s(self, attempt: int) -> float:
+        base = min(self.backoff_base_s * (2 ** attempt), self.backoff_cap_s)
+        # deterministic jitter in [0.5, 1.0) from the repo's LCG constants
+        mix = (1664525 * (attempt + 1) + 1013904223) & 0xFFFFFFFF
+        return base * (0.5 + (mix / float(1 << 32)) / 2.0)
+
+    def _query_once(self, req: Request) -> Response:
+        """One send/receive over the current connection.
+
+        Any way the connection can die mid-query — reset, refused
+        reconnect, the server closing without replying, a reply cut off
+        mid-line — raises :class:`ServeConnectionError` after closing
+        the socket, so the retry path always starts from a clean
+        connection.
+        """
+        try:
+            self.connect()
+        except OSError as exc:
+            self.close()
+            raise ServeConnectionError(self.host, self.port, req.kind,
+                                       f"connect failed: {exc}") from exc
+        assert self._sock is not None and self._file is not None
+        try:
+            self._sock.sendall(encode_request(req).encode())
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServeConnectionError(self.host, self.port, req.kind,
+                                       str(exc)) from exc
+        if not line:
+            self.close()
+            raise ServeConnectionError(
+                self.host, self.port, req.kind,
+                "server closed the connection before replying")
+        if not line.endswith("\n"):
+            # short read: the connection died mid-reply; the fragment is
+            # not trustworthy, so drop it and the socket together
+            self.close()
+            raise ServeConnectionError(
+                self.host, self.port, req.kind,
+                f"reply truncated after {len(line)} bytes")
+        return decode_response(line)
+
     def query(self, kind: str, params: Mapping[str, Any] | None = None, *,
               deadline_s: float | None = None, fresh: bool = False,
               id: str | None = None) -> Response:
-        """Send one query and block for its response.
+        """Send one query, retrying dropped connections, and block for
+        the response.
 
-        Raises :class:`ProtocolError` on transport failure (closed
-        connection, unparseable reply); a server-side error comes back as
-        a normal ``ok: false`` response for the caller to inspect.
+        Raises :class:`ServeConnectionError` when the connection drops
+        more than ``retries`` times, and plain :class:`ProtocolError` on
+        a protocol violation (unparseable reply); a server-side error
+        comes back as a normal ``ok: false`` response for the caller to
+        inspect.
         """
-        self.connect()
-        assert self._sock is not None and self._file is not None
         if id is None:
             self._counter += 1
             id = f"c{self._counter}"
         req = Request(kind=kind,
                       params=normalize_params(kind, params),
                       id=id, deadline_s=deadline_s, fresh=fresh)
-        try:
-            self._sock.sendall(encode_request(req).encode())
-            line = self._file.readline()
-        except OSError as exc:
-            self.close()
-            raise ProtocolError("bad_request",
-                                f"transport failure: {exc}") from exc
-        if not line:
-            self.close()
-            raise ProtocolError("bad_request",
-                                "server closed the connection")
-        return decode_response(line)
+        attempt = 0
+        while True:
+            try:
+                return self._query_once(req)
+            except ServeConnectionError:
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._backoff_s(attempt))
+                attempt += 1
+                self.retry_count += 1
 
 
 class InProcessClient:

@@ -13,21 +13,29 @@ non-zero exit so CI can gate on it.
 ``--self-host`` boots the full TCP service on an ephemeral port inside
 this process (event loop on a background thread) and aims the clients at
 it — the zero-setup smoke mode CI uses.
+
+``--chaos RATE`` layers the fault plan on top (docs/ROBUSTNESS.md):
+connection drops, worker crashes, and cache corruption all fire at RATE
+while ``verify`` digests every served answer against the in-process
+deterministic reference — the chaos-smoke gate is *zero wrong answers
+and a bounded retry rate* under sustained injected failure.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import threading
 import time
 from typing import Any, Mapping, Sequence
 
 from .client import ServeClient
-from .protocol import ProtocolError
+from .protocol import ProtocolError, normalize_params
 from .server import CharacterizationService, ServeConfig
 
 __all__ = ["DEFAULT_MIX", "HostedService", "format_loadgen_report",
-           "loadgen_failures", "run_loadgen"]
+           "loadgen_failures", "reference_digests", "run_loadgen"]
 
 #: the repeated-query workload: the questions a practitioner actually
 #: asks before an MMU port, all answerable from the analytic model
@@ -115,6 +123,34 @@ class _ClientStats:
         self.served_by: dict[str, int] = {}
         self.kinds: dict[str, int] = {}
         self.errors: list[str] = []
+        self.retries = 0
+        self.wrong_answers = 0
+
+
+def _answer_digest(result: Any) -> str:
+    """Canonical digest of one query answer (tuples == lists in JSON)."""
+    return hashlib.sha256(
+        json.dumps(result, sort_keys=True,
+                   separators=(",", ":")).encode()).hexdigest()
+
+
+def reference_digests(mix: Sequence[tuple[str, Mapping[str, Any]]]
+                      ) -> dict[int, str]:
+    """Ground-truth answer digest per mix entry, computed in-process.
+
+    The model is deterministic, so the served answer must digest to
+    exactly this — under any amount of injected chaos.  ``metrics`` (and
+    other non-model kinds) have no fixed answer and are skipped.
+    """
+    from .queries import resolve_query
+
+    digests: dict[int, str] = {}
+    for i, (kind, params) in enumerate(mix):
+        if kind in ("metrics", "ping"):
+            continue
+        digests[i] = _answer_digest(
+            resolve_query(kind, normalize_params(kind, params)))
+    return digests
 
 
 def _lcg(seed: int):
@@ -128,16 +164,19 @@ def _lcg(seed: int):
 def _client_loop(index: int, host: str, port: int, t_end: float,
                  mix: Sequence[tuple[str, Mapping[str, Any]]],
                  deadline_s: float | None, fresh: bool,
-                 barrier: threading.Barrier, out: _ClientStats) -> None:
+                 barrier: threading.Barrier, out: _ClientStats,
+                 retries: int, expected: Mapping[int, str] | None) -> None:
     picks = _lcg(index)
     try:
         barrier.wait(timeout=30)
     except threading.BrokenBarrierError:  # pragma: no cover - peer died
         return
+    client = ServeClient(host, port, retries=retries)
     try:
-        with ServeClient(host, port) as client:
+        with client:
             while time.monotonic() < t_end:
-                kind, params = mix[next(picks) % len(mix)]
+                pick = next(picks) % len(mix)
+                kind, params = mix[pick]
                 t0 = time.perf_counter()
                 try:
                     resp = client.query(kind, params,
@@ -150,6 +189,12 @@ def _client_loop(index: int, host: str, port: int, t_end: float,
                 if resp.ok:
                     out.served_by[resp.served_by] = \
                         out.served_by.get(resp.served_by, 0) + 1
+                    if expected is not None and pick in expected \
+                            and _answer_digest(resp.result) != expected[pick]:
+                        out.wrong_answers += 1
+                        out.errors.append(
+                            f"{kind}: WRONG ANSWER (digest mismatch vs "
+                            f"the in-process reference)")
                 else:
                     err = resp.error or {}
                     out.errors.append(
@@ -157,6 +202,8 @@ def _client_loop(index: int, host: str, port: int, t_end: float,
                         f"{err.get('message', '')}")
     except (OSError, ProtocolError) as exc:
         out.errors.append(f"client {index}: {exc}")
+    finally:
+        out.retries = client.retry_count
 
 
 def _percentile(ordered: list[float], q: float) -> float:
@@ -170,17 +217,26 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
                 duration_s: float = 10.0,
                 mix: Sequence[tuple[str, Mapping[str, Any]]] = DEFAULT_MIX,
                 deadline_s: float | None = None,
-                fresh: bool = False) -> dict[str, Any]:
-    """Drive the server and summarize the run (see module docstring)."""
+                fresh: bool = False, verify: bool = False,
+                client_retries: int = 2) -> dict[str, Any]:
+    """Drive the server and summarize the run (see module docstring).
+
+    ``verify`` digests every OK answer against an in-process reference
+    computation — the chaos gate's "zero wrong answers" check.
+    ``client_retries`` is each client's dropped-connection retry budget
+    (raise it when driving a server with ``serve.conn_drop`` injected).
+    """
     if clients < 1:
         raise ValueError("clients must be >= 1")
+    expected = reference_digests(mix) if verify else None
     stats = [_ClientStats() for _ in range(clients)]
     barrier = threading.Barrier(clients + 1)
     t_end = time.monotonic() + duration_s
     threads = [
         threading.Thread(target=_client_loop,
                          args=(i, host, port, t_end, mix, deadline_s,
-                               fresh, barrier, stats[i]),
+                               fresh, barrier, stats[i], client_retries,
+                               expected),
                          name=f"repro-loadgen-{i}", daemon=True)
         for i in range(clients)]
     for t in threads:
@@ -203,6 +259,8 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
     total = len(latencies)
     reused = sum(served_by.get(k, 0)
                  for k in ("cache", "coalesced", "stale"))
+    retries = sum(s.retries for s in stats)
+    wrong = sum(s.wrong_answers for s in stats)
 
     metrics: dict[str, Any] | None = None
     try:
@@ -221,6 +279,10 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
         "error_samples": errors[:8],
         "throughput_qps": (total / wall) if wall > 0 else 0.0,
         "reuse_rate": (reused / total) if total else 0.0,
+        "retries": retries,
+        "retry_rate": (retries / total) if total else 0.0,
+        "wrong_answers": wrong,
+        "verified": verify,
         "served_by": dict(sorted(served_by.items())),
         "kinds": dict(sorted(kinds.items())),
         "latency": {
@@ -235,15 +297,25 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
 
 def loadgen_failures(summary: Mapping[str, Any],
                      p99_max_s: float | None = None,
-                     min_reuse_rate: float | None = None) -> list[str]:
+                     min_reuse_rate: float | None = None,
+                     max_retry_rate: float | None = None) -> list[str]:
     """The CI gate: reasons this run should fail the build."""
     failures = []
     if summary["requests"] == 0:
         failures.append("no requests completed")
+    if summary.get("wrong_answers"):
+        failures.append(
+            f"{summary['wrong_answers']} WRONG answer(s): a served result "
+            f"diverged from the deterministic reference")
     if summary["errors"]:
         failures.append(
             f"{summary['errors']} protocol error(s), e.g. "
             f"{summary['error_samples'][:1]}")
+    if max_retry_rate is not None \
+            and summary.get("retry_rate", 0.0) > max_retry_rate:
+        failures.append(
+            f"retry rate {summary['retry_rate']:.2%} exceeds bound "
+            f"{max_retry_rate:.2%} (recovery is thrashing)")
     if p99_max_s is not None \
             and summary["latency"]["p99_s"] > p99_max_s:
         failures.append(
@@ -269,6 +341,11 @@ def format_loadgen_report(summary: Mapping[str, Any]) -> str:
         ["errors", summary["errors"]],
         ["throughput", f"{summary['throughput_qps']:.1f} q/s"],
         ["reuse rate", f"{summary['reuse_rate']:.2%}"],
+        ["conn retries", f"{summary.get('retries', 0)} "
+                         f"({summary.get('retry_rate', 0.0):.2%})"],
+        ["verified answers",
+         ("yes, %d wrong" % summary.get("wrong_answers", 0))
+         if summary.get("verified") else "off"],
         ["p50 / p95 / p99",
          f"{lat['p50_s'] * 1e3:.2f} / {lat['p95_s'] * 1e3:.2f} / "
          f"{lat['p99_s'] * 1e3:.2f} ms"],

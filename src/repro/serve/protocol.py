@@ -66,6 +66,9 @@ ERROR_CODES = frozenset({
     "circuit_open",      # breaker open and no stale answer to degrade to
     "model_error",       # resolver raised
     "internal",          # anything else server-side
+    "conn_dropped",      # client-side: the connection died mid-query
+                         # (never sent by the server; raised locally by
+                         # ServeClient, and retried when retries remain)
 })
 
 _DEFAULT_GPUS = [g.name for g in ALL_GPUS]

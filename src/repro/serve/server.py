@@ -20,9 +20,11 @@ still completes and refreshes the store for the next request.
 from __future__ import annotations
 
 import asyncio
+import socket
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from .. import faults
 from .admission import AdmissionController
 from .protocol import (
     ProtocolError,
@@ -241,6 +243,11 @@ class CharacterizationService:
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
+                if faults.site("serve.conn_drop"):
+                    # injected drop: close without replying — the client's
+                    # retry re-asks an idempotent, content-keyed query
+                    self.telemetry.inc("injected_conn_drops_total")
+                    break
                 writer.write((await self.handle_line(text)).encode())
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError,
@@ -249,6 +256,19 @@ class CharacterizationService:
         except asyncio.CancelledError:
             pass  # service shutdown: just close the connection
         finally:
+            # shutdown() before close(): a forked model-pool worker may
+            # hold a duplicate of this fd (the pool is created lazily,
+            # after connections exist), and close() alone would leave the
+            # connection open until every copy dies — the client would
+            # hang to its socket timeout instead of seeing EOF.
+            # shutdown() acts on the connection itself, so the FIN goes
+            # out regardless of duplicated descriptors.
+            try:
+                sock = writer.get_extra_info("socket")
+                if sock is not None:
+                    sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already disconnected
             try:
                 writer.close()
                 await writer.wait_closed()

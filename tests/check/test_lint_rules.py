@@ -182,6 +182,66 @@ class TestKernelStatsApi:
         """, relpath="gpu/counters.py")
 
 
+# --------------------------------------------------------------------- R008
+
+class TestFaultSiteRegistry:
+    def test_registered_literal_is_fine(self):
+        assert not _lint("""
+            from repro import faults
+            def maybe_drop():
+                return faults.site("serve.conn_drop")
+        """, relpath="serve/server.py")
+
+    def test_undeclared_site_is_flagged(self):
+        findings = _lint("""
+            from repro import faults
+            def maybe():
+                return faults.site("serve.meteor_strike")
+        """, relpath="serve/server.py")
+        assert _rules(findings) == ["R008"]
+        assert findings[0].symbol == "serve.meteor_strike"
+        assert "not declared" in findings[0].message
+
+    def test_non_literal_name_is_flagged(self):
+        findings = _lint("""
+            from repro import faults
+            def maybe(name):
+                return faults.site(name)
+        """, relpath="serve/server.py")
+        assert _rules(findings) == ["R008"]
+        assert "string literal" in findings[0].message
+
+    def test_relative_import_forms_resolve(self):
+        # both spellings used in the package must be seen by the rule
+        findings = _lint("""
+            from .. import faults
+            def a():
+                return faults.site("cache.bogus")
+        """, relpath="perf/cache.py")
+        assert _rules(findings) == ["R008"]
+        findings = _lint("""
+            from ..faults import plan
+            def b():
+                return plan.site("cache.bogus")
+        """, relpath="perf/cache.py")
+        assert _rules(findings) == ["R008"]
+
+    def test_keyed_call_with_registered_site_is_fine(self):
+        assert not _lint("""
+            from .. import faults
+            def load(path):
+                return faults.site("cache.read_corrupt", key=path)
+        """, relpath="perf/cache.py")
+
+    def test_unrelated_local_site_function_is_ignored(self):
+        assert not _lint("""
+            def site(name):
+                return name
+            def use():
+                return site("whatever")
+        """, relpath="analysis/tables.py")
+
+
 # --------------------------------------------------------------------- R000
 
 def test_syntax_error_reports_r000():

@@ -1,0 +1,165 @@
+"""The fault-injection layer itself: plans, draws, registry discipline."""
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    DEFAULT_SEED,
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlanError,
+    active_plan,
+    fault_stats,
+    install_plan,
+    parse_plan,
+    site,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    """Every test starts and ends with no plan installed."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.reset_fault_state()
+    yield
+    faults.clear_plan()
+
+
+# ---------------------------------------------------------------- parsing
+
+class TestParsePlan:
+    def test_basic_spec(self):
+        plan = parse_plan("executor.worker_crash=0.25,seed=9")
+        assert plan.rate("executor.worker_crash") == 0.25
+        assert plan.rate("cache.read_corrupt") == 0.0
+        assert plan.seed == 9
+
+    def test_default_seed_and_semicolons(self):
+        plan = parse_plan("cache.read_corrupt=0.1;cache.write_fail=0.2")
+        assert plan.seed == DEFAULT_SEED
+        assert plan.rate("cache.write_fail") == 0.2
+
+    def test_glob_expands_layer_prefix(self):
+        plan = parse_plan("executor.*=0.5")
+        assert plan.rate("executor.worker_crash") == 0.5
+        assert plan.rate("executor.worker_hang") == 0.5
+        assert plan.rate("serve.conn_drop") == 0.0
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            parse_plan("executor.meteor_strike=0.1")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError, match=r"\[0, 1\]"):
+            parse_plan("serve.conn_drop=1.5")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(FaultPlanError, match="site=rate"):
+            parse_plan("serve.conn_drop")
+
+    def test_to_spec_round_trips(self):
+        plan = parse_plan("serve.conn_drop=0.15,sweep.kill=0.3,seed=4")
+        again = parse_plan(plan.to_spec())
+        assert again.rates == plan.rates
+        assert again.seed == plan.seed
+
+
+# ---------------------------------------------------------------- registry
+
+class TestRegistry:
+    def test_sites_are_unique_and_documented(self):
+        names = [s.name for s in FAULT_SITES]
+        assert len(names) == len(set(names))
+        for s in FAULT_SITES:
+            assert "." in s.name
+            assert s.layer
+            assert s.description.strip()
+
+    def test_expected_sites_declared(self):
+        names = {s.name for s in FAULT_SITES}
+        assert {"executor.worker_crash", "executor.worker_hang",
+                "cache.read_corrupt", "cache.write_fail",
+                "serve.conn_drop", "sweep.kill"} <= names
+
+
+# ------------------------------------------------------------------ draws
+
+class TestSiteDraws:
+    def test_no_plan_means_never_fires(self):
+        assert site("executor.worker_crash", key="x") is False
+        assert site("executor.worker_crash") is False
+
+    def test_no_plan_skips_registry_check(self):
+        # without a plan the probe must stay free — no KeyError even for
+        # garbage (lint R008 catches those statically)
+        assert site("not.a.site") is False
+
+    def test_undeclared_site_raises_under_active_plan(self):
+        install_plan("serve.conn_drop=0.5,seed=1")
+        with pytest.raises(KeyError, match="undeclared fault site"):
+            site("not.a.site")
+
+    def test_keyed_draws_are_pure(self):
+        install_plan("cache.read_corrupt=0.5,seed=42")
+        first = [site("cache.read_corrupt", key=f"k{i}") for i in range(64)]
+        faults.reset_fault_state()
+        second = [site("cache.read_corrupt", key=f"k{i}") for i in range(64)]
+        assert first == second
+        assert any(first) and not all(first)  # ~50% rate, both outcomes
+
+    def test_keyed_rate_is_approximate(self):
+        install_plan("cache.read_corrupt=0.2,seed=7")
+        n = 2000
+        fired = sum(site("cache.read_corrupt", key=str(i)) for i in range(n))
+        assert 0.12 < fired / n < 0.28
+
+    def test_stream_draws_reproduce_after_reset(self):
+        install_plan("serve.conn_drop=0.3,seed=5")
+        first = [site("serve.conn_drop") for _ in range(64)]
+        faults.reset_fault_state()
+        second = [site("serve.conn_drop") for _ in range(64)]
+        assert first == second
+        assert any(first)
+
+    def test_different_seeds_differ(self):
+        install_plan("serve.conn_drop=0.5,seed=1")
+        a = [site("serve.conn_drop", key=str(i)) for i in range(64)]
+        install_plan("serve.conn_drop=0.5,seed=2")
+        b = [site("serve.conn_drop", key=str(i)) for i in range(64)]
+        assert a != b
+
+    def test_zero_rate_never_draws(self):
+        install_plan("serve.conn_drop=0.0,cache.write_fail=1.0,seed=1")
+        assert site("serve.conn_drop", key="x") is False
+        assert site("cache.write_fail", key="x") is True
+
+
+# ------------------------------------------------------------ plan install
+
+class TestInstallPlan:
+    def test_install_writes_env_for_children(self):
+        import os
+        install_plan("sweep.kill=0.25,seed=3")
+        assert "sweep.kill=0.25" in os.environ[ENV_VAR]
+        plan = active_plan()
+        assert plan is not None and plan.rate("sweep.kill") == 0.25
+        faults.clear_plan()
+        assert ENV_VAR not in os.environ
+        assert active_plan() is None
+
+    def test_env_change_is_picked_up_lazily(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "serve.conn_drop=0.1,seed=1")
+        assert active_plan().rate("serve.conn_drop") == 0.1
+        monkeypatch.setenv(ENV_VAR, "serve.conn_drop=0.9,seed=1")
+        assert active_plan().rate("serve.conn_drop") == 0.9
+
+    def test_empty_plan_is_none(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=5")
+        assert active_plan() is None
+
+    def test_fault_stats_count_draws_and_fires(self):
+        install_plan("cache.write_fail=1.0,seed=1")
+        for i in range(5):
+            site("cache.write_fail", key=str(i))
+        stats = fault_stats()
+        assert stats["cache.write_fail"] == {"draws": 5, "fires": 5}

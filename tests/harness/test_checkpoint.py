@@ -1,0 +1,146 @@
+"""Resumable sweeps: journal durability and the kill-and-resume contract.
+
+The in-process tests cover the journal format and the resume equality;
+the subprocess test actually dies (``sweep.kill`` → ``os._exit(9)``)
+mid-sweep and proves the resumed payload is byte-identical to an
+uninterrupted one — the same check chaos CI runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.gpu.device import Device
+from repro.harness.checkpoint import (
+    SweepJournal,
+    point_key,
+    resumable_sweep,
+    serialize_payload,
+)
+from repro.harness.sweep import SIZE_SWEEPS
+from repro.kernels.base import Variant
+
+VARIANTS = (Variant.BASELINE, Variant.TC)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset_fault_state()
+    yield
+    faults.clear_plan()
+
+
+class TestSweepJournal:
+    def test_round_trip_last_wins(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.append("k1", [{"size": 1}])
+        j.append("k2", [{"size": 2}])
+        j.append("k1", [{"size": 3}])  # rewrite: last occurrence wins
+        assert j.load() == {"k1": [{"size": 3}], "k2": [{"size": 2}]}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.append("k1", [{"size": 1}])
+        with open(j.path, "a") as fh:
+            fh.write('{"key": "k2", "points": [{"si')  # killed mid-write
+        assert j.load() == {"k1": [{"size": 1}]}
+
+    def test_malformed_records_are_skipped(self, tmp_path):
+        j = SweepJournal(tmp_path / "j.jsonl")
+        j.path.write_text('"just a string"\n{"key": 5, "points": []}\n'
+                          '{"key": "ok", "points": [{"size": 9}]}\n')
+        assert j.load() == {"ok": [{"size": 9}]}
+
+    def test_missing_file_loads_empty_and_clear_is_idempotent(self, tmp_path):
+        j = SweepJournal(tmp_path / "absent.jsonl")
+        assert j.load() == {}
+        j.clear()
+        j.clear()
+
+    def test_point_key_depends_on_every_coordinate(self):
+        base = point_key("gemm", 256, VARIANTS, "H200")
+        assert point_key("gemm", 256, VARIANTS, "H200") == base
+        assert point_key("gemv", 256, VARIANTS, "H200") != base
+        assert point_key("gemm", 512, VARIANTS, "H200") != base
+        assert point_key("gemm", 256, VARIANTS, "A100") != base
+        assert point_key("gemm", 256, (Variant.BASELINE,), "H200") != base
+
+
+class TestResumableSweep:
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        dev = Device("H200")
+        plain = resumable_sweep("gemm", dev, VARIANTS)
+        # journal only a prefix of the grid, then resume over it
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        sizes = SIZE_SWEEPS["gemm"][2]
+        per_point = len(plain["points"]) // len(sizes)
+        for i, s in enumerate(sizes[:2]):
+            key = point_key("gemm", s, VARIANTS, dev.spec.name)
+            journal.append(
+                key, plain["points"][i * per_point:(i + 1) * per_point])
+        resumed = resumable_sweep("gemm", dev, VARIANTS,
+                                  journal=journal, resume=True)
+        assert serialize_payload(resumed) == serialize_payload(plain)
+
+    def test_without_resume_journal_is_cleared(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append("stale-key", [{"size": 0}])
+        payload = resumable_sweep("gemm", Device("H200"), VARIANTS,
+                                  journal=journal)
+        records = journal.load()
+        assert "stale-key" not in records
+        assert len(records) == len(SIZE_SWEEPS["gemm"][2])
+        assert payload["workload"] == "gemm"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="no size sweep"):
+            resumable_sweep("nope", Device("H200"))
+
+    def test_payload_serialization_is_canonical(self):
+        payload = {"b": 2, "a": [1.5, {"z": 1, "y": 2}]}
+        line = serialize_payload(payload)
+        assert line == '{"a":[1.5,{"y":2,"z":1}],"b":2}\n'
+        assert json.loads(line) == payload
+
+
+class TestKillAndResume:
+    """The chaos-CI contract, end to end through the real CLI."""
+
+    def _run_sweep(self, out: Path, journal: Path | None = None,
+                   resume: bool = False, env_extra: dict | None = None):
+        cmd = [sys.executable, "-m", "repro", "sweep", "gemm",
+               "--out", str(out)]
+        if journal is not None:
+            cmd += ["--journal", str(journal)]
+        if resume:
+            cmd += ["--resume"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).parents[2] / "src")
+        env.pop(faults.ENV_VAR, None)
+        env.update(env_extra or {})
+        return subprocess.run(cmd, capture_output=True, text=True,
+                              env=env, timeout=300)
+
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path):
+        base = self._run_sweep(tmp_path / "base.json")
+        assert base.returncode == 0, base.stderr
+        journal = tmp_path / "sweep.jsonl"
+        # seed 11 is a known killer for this grid (also used by chaos CI)
+        killed = self._run_sweep(
+            tmp_path / "killed.json", journal=journal,
+            env_extra={faults.ENV_VAR: "sweep.kill=0.35,seed=11"})
+        assert killed.returncode == 9, (killed.returncode, killed.stderr)
+        assert not (tmp_path / "killed.json").exists()
+        assert journal.exists() and journal.stat().st_size > 0
+        resumed = self._run_sweep(tmp_path / "resumed.json",
+                                  journal=journal, resume=True)
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed" in resumed.stderr
+        assert (tmp_path / "resumed.json").read_bytes() \
+            == (tmp_path / "base.json").read_bytes()

@@ -107,7 +107,9 @@ class TestResultCacheTiers:
         fresh = ResultCache(tmp_path)
         got = fresh.get_or_compute("t", key, lambda: np.arange(64.0))
         assert (got == np.arange(64.0)).all()
-        assert fresh.stats.load_errors == 1
+        # truncation breaks the checksum trailer => integrity failure
+        assert fresh.stats.integrity_failures == 1
+        assert fresh.stats.quarantined == 1
         assert fresh.stats.misses == 1
         # the rewritten entry loads cleanly again
         again = ResultCache(tmp_path)
@@ -209,6 +211,116 @@ class TestDiskCapAndPruning:
         cache = ResultCache(tmp_path, disk=True)
         assert cache.max_disk_bytes == 8192
         assert cache.disk_stats().max_disk_bytes == 8192
+
+
+class TestIntegrityAndFaults:
+    @pytest.fixture(autouse=True)
+    def _clean_plan(self, monkeypatch):
+        from repro import faults
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.reset_fault_state()
+        yield
+        faults.clear_plan()
+
+    def test_flipped_byte_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key("bitrot")
+        cache.get_or_compute("t", key, lambda: np.arange(32.0))
+        path = cache._entry_path("t", key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        fresh = ResultCache(tmp_path)
+        got = fresh.get_or_compute("t", key, lambda: np.arange(32.0))
+        assert (got == np.arange(32.0)).all()
+        assert fresh.stats.integrity_failures == 1
+        quarantined = list((tmp_path / "_quarantine").glob("*.quar"))
+        assert len(quarantined) == 1
+        assert quarantined[0].name == f"t__{key}.quar"
+
+    def test_quarantine_is_outside_the_size_ledger(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.get_or_compute("t", content_key("q", i),
+                                 lambda: np.arange(16.0))
+        victim = cache._entry_path("t", content_key("q", 0))
+        victim.write_bytes(victim.read_bytes()[:8])
+        cache.clear_memory()
+        cache.get_or_compute("t", content_key("q", 0),
+                             lambda: np.arange(16.0))
+        stats = cache.disk_stats()
+        assert stats.total_entries == 3  # the rewritten entry counts again
+        assert stats.quarantined_entries == 1
+        assert stats.quarantined_bytes > 0
+        # and the quarantined bytes are NOT in the entry ledger
+        on_disk = sum(p.stat().st_size
+                      for p in tmp_path.glob("*/*.pkl"))
+        assert stats.total_bytes == on_disk
+
+    def test_read_corrupt_fault_recomputes_correctly(self, tmp_path):
+        from repro import faults
+        cache = ResultCache(tmp_path)
+        key = content_key("inject-read")
+        value = np.linspace(0.0, 1.0, 33)
+        cache.get_or_compute("t", key, lambda: value)
+        faults.install_plan("cache.read_corrupt=1.0,seed=2")
+        fresh = ResultCache(tmp_path)
+        got = fresh.get_or_compute("t", key, lambda: value)
+        assert (got == value).all()
+        assert fresh.stats.integrity_failures == 1
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.misses == 1
+
+    def test_write_fail_fault_drops_entry_silently(self, tmp_path):
+        from repro import faults
+        faults.install_plan("cache.write_fail=1.0,seed=2")
+        cache = ResultCache(tmp_path)
+        key = content_key("inject-write")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(8.0)
+
+        got = cache.get_or_compute("t", key, compute)
+        assert (got == np.arange(8.0)).all()
+        assert not list(tmp_path.glob("*/*.pkl"))  # write was dropped
+        cache.clear_memory()
+        again = cache.get_or_compute("t", key, compute)
+        assert (again == np.arange(8.0)).all()
+        assert len(calls) == 2  # recompute, still correct
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        import os
+        import time
+        cache = ResultCache(tmp_path)
+        cache.get_or_compute("t", content_key("tmp"), lambda: 1)
+        old = tmp_path / "t" / "dead-writer.tmp"
+        old.write_bytes(b"partial")
+        past = time.time() - 7200
+        os.utime(old, (past, past))
+        young = tmp_path / "t" / "live-writer.tmp"
+        young.write_bytes(b"racing")
+        cache.prune()
+        assert not old.exists()  # crash debris swept
+        assert young.exists()  # in-flight write never raced
+
+    def test_quarantine_rotation_keeps_newest(self, tmp_path):
+        import os
+        from repro.perf.cache import _QUARANTINE_KEEP
+        cache = ResultCache(tmp_path)
+        qdir = tmp_path / "_quarantine"
+        qdir.mkdir()
+        n = _QUARANTINE_KEEP + 5
+        for i in range(n):
+            p = qdir / f"t__{i:03d}.quar"
+            p.write_bytes(b"x")
+            past = p.stat().st_mtime - (n - i) * 10.0
+            os.utime(p, (past, past))
+        cache.prune()
+        left = sorted(p.name for p in qdir.glob("*.quar"))
+        assert len(left) == _QUARANTINE_KEEP
+        assert left[0] == "t__005.quar"  # the 5 oldest rotated out
 
 
 def CacheStats_probe(cache, n: int) -> dict:

@@ -1,0 +1,153 @@
+"""ServeClient retry behavior against misbehaving servers.
+
+These tests stand up tiny handcrafted TCP servers (threads, stdlib
+sockets) that drop, truncate, or eventually answer — exercising the
+typed :class:`ServeConnectionError` and the reconnect-and-retry loop
+without needing the full characterization service.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeConnectionError
+from repro.serve.protocol import ProtocolError
+
+
+def _listener():
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(8)
+    return srv, srv.getsockname()[1]
+
+
+def _serve(srv, behaviors):
+    """Accept one connection per behavior; each behavior handles it."""
+    def run():
+        for behave in behaviors:
+            try:
+                conn, _ = srv.accept()
+            except OSError:
+                return
+            try:
+                behave(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t
+
+
+def _drop_after_request(conn):
+    conn.makefile("r").readline()  # consume the request, reply nothing
+
+
+def _truncate_reply(conn):
+    conn.makefile("r").readline()
+    conn.sendall(b'{"id": "c1", "ok": true, "resu')  # no newline, then close
+
+
+def _answer_pong(conn):
+    fh = conn.makefile("r")
+    while True:
+        line = fh.readline()
+        if not line:
+            return
+        req = json.loads(line)
+        resp = {"id": req["id"], "ok": True, "result": "pong",
+                "served_by": "model"}
+        conn.sendall((json.dumps(resp) + "\n").encode())
+
+
+class TestTypedConnectionError:
+    def test_error_names_endpoint_and_kind(self):
+        srv, port = _listener()
+        _serve(srv, [_drop_after_request])
+        try:
+            client = ServeClient("127.0.0.1", port, retries=0, timeout_s=5)
+            with pytest.raises(ServeConnectionError) as info:
+                client.query("ping")
+            assert f"127.0.0.1:{port}" in str(info.value)
+            assert "'ping'" in str(info.value)
+            assert info.value.code == "conn_dropped"
+            assert (info.value.host, info.value.port) == ("127.0.0.1", port)
+            assert info.value.kind == "ping"
+        finally:
+            srv.close()
+
+    def test_is_a_protocol_error(self):
+        # existing except ProtocolError handlers must keep catching it
+        assert issubclass(ServeConnectionError, ProtocolError)
+
+    def test_short_read_closes_socket_cleanly(self):
+        srv, port = _listener()
+        _serve(srv, [_truncate_reply])
+        try:
+            client = ServeClient("127.0.0.1", port, retries=0, timeout_s=5)
+            with pytest.raises(ServeConnectionError, match="truncated"):
+                client.query("ping")
+            # the fragment and its socket were dropped together
+            assert client._sock is None and client._file is None
+        finally:
+            srv.close()
+
+    def test_connect_refused_is_typed(self):
+        srv, port = _listener()
+        srv.close()  # nobody listening on this port anymore
+        client = ServeClient("127.0.0.1", port, retries=0, timeout_s=5)
+        with pytest.raises(ServeConnectionError, match="connect failed"):
+            client.query("ping")
+
+
+class TestRetryLoop:
+    def test_drop_once_then_succeed(self):
+        srv, port = _listener()
+        _serve(srv, [_drop_after_request, _answer_pong])
+        try:
+            client = ServeClient("127.0.0.1", port, retries=2,
+                                 timeout_s=5, backoff_base_s=0.001)
+            resp = client.query("ping")
+            assert resp.ok and resp.result == "pong"
+            assert client.retry_count == 1
+            client.close()
+        finally:
+            srv.close()
+
+    def test_retries_zero_raises_immediately(self):
+        srv, port = _listener()
+        _serve(srv, [_drop_after_request, _answer_pong])
+        try:
+            client = ServeClient("127.0.0.1", port, retries=0, timeout_s=5)
+            with pytest.raises(ServeConnectionError):
+                client.query("ping")
+            assert client.retry_count == 0
+        finally:
+            srv.close()
+
+    def test_retries_exhausted_reraises(self):
+        srv, port = _listener()
+        _serve(srv, [_drop_after_request] * 3)
+        try:
+            client = ServeClient("127.0.0.1", port, retries=2,
+                                 timeout_s=5, backoff_base_s=0.001)
+            with pytest.raises(ServeConnectionError):
+                client.query("ping")
+            assert client.retry_count == 2
+        finally:
+            srv.close()
+
+    def test_backoff_is_deterministic_and_capped(self):
+        client = ServeClient(retries=8, backoff_base_s=0.05,
+                             backoff_cap_s=1.0)
+        delays = [client._backoff_s(a) for a in range(8)]
+        assert delays == [client._backoff_s(a) for a in range(8)]
+        assert all(0 < d <= 1.0 for d in delays)
+        # jitter keeps [0.5, 1.0) of the capped exponential base
+        assert all(d >= 0.5 * min(0.05 * 2 ** a, 1.0) - 1e-12
+                   for a, d in enumerate(delays))
