@@ -13,22 +13,36 @@ tests cannot see from the outside:
 * :class:`~repro.gpu.counters.KernelStats` counters must be built through
   the counter API so the execute/analytic agreement tests stay meaningful.
 
-This package enforces them with two layers:
+This package enforces them with three layers:
 
 * **Layer 1 — AST lint** (:mod:`repro.check.lint`,
-  :mod:`repro.check.contracts`): codebase-specific rules ``R001``-``R007``
+  :mod:`repro.check.contracts`): codebase-specific rules ``R001``-``R008``
   over ``src/repro``.
-* **Layer 2 — warp-hazard sanitizer** (:mod:`repro.check.hazards`,
+* **Layer 2 — determinism proof engine** (:mod:`repro.check.dataflow`,
+  :mod:`repro.check.determinism`): an interprocedural taint analysis over
+  the whole-package call graph proving the three structural properties
+  the bit-identity contract rests on — cache/serve value purity, pool
+  dispatch purity, and content-key completeness; rules ``D001``-``D006``
+  plus the machine-readable ``determinism_facts.json`` artifact.
+* **Layer 3 — warp-hazard sanitizer** (:mod:`repro.check.hazards`,
   :mod:`repro.check.dynamic`): a compute-sanitizer/racecheck analog for the
   emulated warp, fed by the instrumentation hooks in
   :mod:`repro.gpu.warp_events`; rules ``H001``-``H004``.
 
-Both layers emit structured :class:`~repro.check.findings.Finding` records,
+All layers emit structured :class:`~repro.check.findings.Finding` records,
 honour a checked-in suppression baseline (``check_baseline.json``), and are
 wired into CI through the ``repro check`` CLI subcommand.
 """
 
-from .findings import Baseline, Finding, Suppression, apply_baseline
+from .dataflow import PackageGraph
+from .determinism import analyze_package
+from .findings import (
+    Baseline,
+    Finding,
+    Suppression,
+    apply_baseline,
+    dedupe_findings,
+)
 from .hazards import WarpSanitizer
 from .runner import CheckReport, default_baseline_path, run_check
 
@@ -37,6 +51,9 @@ __all__ = [
     "Suppression",
     "Baseline",
     "apply_baseline",
+    "dedupe_findings",
+    "PackageGraph",
+    "analyze_package",
     "WarpSanitizer",
     "CheckReport",
     "run_check",

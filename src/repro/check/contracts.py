@@ -30,7 +30,8 @@ import ast
 from pathlib import Path
 
 from .findings import Finding
-from .lint import _ImportResolver, _resolve_dotted
+from .dataflow import ImportResolver as _ImportResolver
+from .dataflow import resolve_dotted as _resolve_dotted
 
 __all__ = ["contract_findings", "contracts_tree", "MMA_PRIMITIVES",
            "LAUNCH_PRIMITIVES"]

@@ -18,6 +18,7 @@ __all__ = [
     "Suppression",
     "Baseline",
     "apply_baseline",
+    "dedupe_findings",
 ]
 
 #: ordered from most to least severe
@@ -118,6 +119,20 @@ class Baseline:
                 rule=f.rule, path=f.path, symbol=f.symbol,
                 justification=justification))
         return cls(list(seen.values()))
+
+
+def dedupe_findings(findings: list[Finding]) -> list[Finding]:
+    """Drop findings identical on (rule, path, line, symbol), keeping the
+    first.  Interprocedural rules can reach one defect along several
+    call-graph paths; the defect is one finding, not one per path."""
+    seen: set[tuple] = set()
+    out: list[Finding] = []
+    for f in findings:
+        key = (f.rule, f.path, f.line, f.symbol)
+        if key not in seen:
+            seen.add(key)
+            out.append(f)
+    return out
 
 
 def apply_baseline(findings: list[Finding], baseline: Baseline

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from ..faults.registry import SITE_NAMES
+from .dataflow import ImportResolver, resolve_dotted
 from .findings import Finding
 
 __all__ = [
@@ -99,42 +100,11 @@ class LintRule:
     check: Callable[[ast.Module, str], list[Finding]]
 
 
-class _ImportResolver(ast.NodeVisitor):
-    """Map local names to fully qualified module paths.
-
-    ``import numpy as np`` → ``np: numpy``;
-    ``from datetime import datetime`` → ``datetime: datetime.datetime``.
-    Relative imports resolve to ``.``-prefixed paths, which never collide
-    with the absolute stdlib/numpy prefixes the rules look for.
-    """
-
-    def __init__(self) -> None:
-        self.names: dict[str, str] = {}
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            local = alias.asname or alias.name.split(".", 1)[0]
-            self.names[local] = alias.name if alias.asname else \
-                alias.name.split(".", 1)[0]
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        base = ("." * node.level) + (node.module or "")
-        for alias in node.names:
-            local = alias.asname or alias.name
-            self.names[local] = f"{base}.{alias.name}" if base else alias.name
-
-
-def _resolve_dotted(node: ast.expr, names: dict[str, str]) -> str | None:
-    """Best-effort fully qualified name of an attribute chain."""
-    parts: list[str] = []
-    cur = node
-    while isinstance(cur, ast.Attribute):
-        parts.append(cur.attr)
-        cur = cur.value
-    if not isinstance(cur, ast.Name):
-        return None
-    root = names.get(cur.id, cur.id)
-    return ".".join([root] + list(reversed(parts)))
+# Import/attribute resolution moved to dataflow.py (the call-graph layer
+# shares it with contracts.py and the determinism engine); aliases keep
+# the historical private names importable.
+_ImportResolver = ImportResolver
+_resolve_dotted = resolve_dotted
 
 
 def _check_rng_and_clock(tree: ast.Module, relpath: str) -> list[Finding]:

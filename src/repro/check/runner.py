@@ -1,26 +1,47 @@
-"""Orchestrates both analysis layers and applies the suppression baseline.
+"""Orchestrates all three analysis layers and applies the baseline.
 
 :func:`run_check` is the engine behind ``repro check`` and the CI ``check``
 job: it lints the ``repro`` package (R00x rules), verifies the Workload
-contracts and the TC/CC MMA call graph (R004-R006), runs the dynamic
-warp-hazard battery (H00x rules), folds the checked-in baseline in, and
-returns a :class:`CheckReport` that renders to text or JSON.
+contracts and the TC/CC MMA call graph (R004-R006), optionally runs the
+interprocedural determinism proof engine (D001-D006 plus the
+``determinism_facts.json`` artifact), runs the dynamic warp-hazard battery
+(H00x rules), folds the checked-in baseline in, and returns a
+:class:`CheckReport` that renders to text or JSON.
+
+Per-file lint parses independently, so it fans out through
+:class:`~repro.perf.executor.ParallelExecutor` (``repro check --jobs N``);
+results merge in (path, line, rule, symbol) order and dedupe on
+(rule, path, line, symbol), so check output is bit-stable regardless of
+job count — the same serial==parallel contract the executor gives every
+other subsystem.
 
 Exit-code contract: the check *fails* (``report.ok is False``) iff any
-error-severity finding is not covered by the baseline.  Warnings and stale
-baseline entries are reported but do not gate.
+error-severity finding is not covered by the baseline.  Warnings are
+reported but do not gate.  Stale baseline entries do not flip ``ok`` (the
+report stays a faithful description of findings) but the CLI exits
+nonzero on them unless ``--prune-baseline`` rewrites the baseline —
+see :func:`repro.cli.cmd_check`.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .contracts import contracts_tree
+from ..perf.executor import ParallelExecutor
+from .contracts import contract_findings
+from .determinism import analyze_package
 from .dynamic import run_dynamic
-from .findings import Baseline, Finding, Suppression, apply_baseline
-from .lint import lint_tree
+from .findings import (
+    Baseline,
+    Finding,
+    Suppression,
+    apply_baseline,
+    dedupe_findings,
+)
+from .lint import lint_source
 
 __all__ = ["CheckReport", "run_check", "default_baseline_path",
            "package_root"]
@@ -37,6 +58,44 @@ def default_baseline_path() -> Path:
     return package_root().parents[1] / "check_baseline.json"
 
 
+def _check_file(task: tuple[str, str]) -> list[Finding]:
+    """Static findings of one module: lint rules plus (for kernels/)
+    the contract rules.  Module-level and picklable — this is the
+    function ``--jobs`` dispatches through the process pool."""
+    root_str, relpath = task
+    source = (Path(root_str) / relpath).read_text()
+    findings = lint_source(source, relpath)
+    if relpath.startswith("kernels/") and relpath != "kernels/base.py" \
+            and "/" not in relpath[len("kernels/"):]:
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError:
+            pass  # lint_source already reported R000
+        else:
+            findings.extend(contract_findings(tree, relpath))
+    return findings
+
+
+def _static_findings(root: Path, n_jobs: int | None) -> list[Finding]:
+    """Lint + contracts over every module, optionally through the pool.
+
+    Findings merge in deterministic (path, line, rule, symbol) order and
+    are deduped, so output is identical for any job count.
+    """
+    tasks = [(str(root), p.relative_to(root).as_posix())
+             for p in sorted(root.rglob("*.py"))]
+    if n_jobs is None or n_jobs == 1:
+        per_file = [_check_file(t) for t in tasks]
+    else:
+        ex = ParallelExecutor(n_jobs)
+        per_file = ex.map(_check_file, tasks,
+                          labels=[t[1] for t in tasks],
+                          stage_names=[f"check/{t[1]}" for t in tasks])
+    findings = [f for fs in per_file for f in fs]
+    findings.sort(key=lambda f: (f.path, f.line or 0, f.rule, f.symbol))
+    return dedupe_findings(findings)
+
+
 @dataclass
 class CheckReport:
     """Everything one ``repro check`` run produced."""
@@ -47,6 +106,10 @@ class CheckReport:
     #: dynamic-battery coverage counters (0 when the battery was skipped)
     sanitized_accesses: int = 0
     sanitized_syncs: int = 0
+    #: ``determinism_facts.json`` payload (None when the layer was skipped)
+    facts: dict | None = None
+    determinism_functions: int = 0
+    determinism_modules: int = 0
 
     @property
     def ok(self) -> bool:
@@ -57,7 +120,7 @@ class CheckReport:
         return self.active + self.suppressed
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "ok": self.ok,
             "active": [f.to_dict() for f in self.active],
             "suppressed": [f.to_dict() for f in self.suppressed],
@@ -68,6 +131,15 @@ class CheckReport:
             "sanitized_accesses": self.sanitized_accesses,
             "sanitized_syncs": self.sanitized_syncs,
         }
+        if self.facts is not None:
+            out["determinism"] = {
+                "modules_analyzed": self.determinism_modules,
+                "functions_analyzed": self.determinism_functions,
+                "impure_functions": sorted(
+                    fid for fid, e in self.facts["purity"].items()
+                    if not e["pure"]),
+            }
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)
@@ -89,6 +161,13 @@ class CheckReport:
             f"{len(self.unused_suppressions)} stale suppression(s); "
             f"sanitized {self.sanitized_accesses} warp accesses across "
             f"{self.sanitized_syncs} sync epochs")
+        if self.facts is not None:
+            impure = sum(1 for e in self.facts["purity"].values()
+                         if not e["pure"])
+            lines.append(
+                f"determinism: {self.determinism_functions} functions "
+                f"across {self.determinism_modules} modules analyzed, "
+                f"{impure} impure (facts exportable via --facts)")
         return "\n".join(lines)
 
 
@@ -96,12 +175,18 @@ def run_check(root: str | Path | None = None,
               baseline: Baseline | str | Path | None = None,
               lint: bool = True,
               dynamic: bool = True,
-              workloads: list[str] | None = None) -> CheckReport:
+              workloads: list[str] | None = None,
+              determinism: bool = False,
+              n_jobs: int | None = None) -> CheckReport:
     """Run the full analysis.
 
     ``root`` is the ``repro`` package directory (defaults to the installed
     one); ``baseline`` is a :class:`Baseline`, a path, or None for the
     checked-in default.  ``workloads`` restricts the dynamic battery.
+    ``determinism`` adds the interprocedural D-rule layer and populates
+    ``report.facts``.  ``n_jobs`` fans per-file static analysis out
+    through :class:`~repro.perf.executor.ParallelExecutor` (None/1 =
+    serial in-process).
     """
     root = package_root() if root is None else Path(root)
     if baseline is None:
@@ -112,14 +197,20 @@ def run_check(root: str | Path | None = None,
     findings: list[Finding] = []
     report = CheckReport()
     if lint:
-        findings.extend(lint_tree(root))
-        findings.extend(contracts_tree(root))
+        findings.extend(_static_findings(root, n_jobs))
+    if determinism:
+        det = analyze_package(root)
+        findings.extend(det.findings)
+        report.facts = det.facts
+        report.determinism_functions = det.functions_analyzed
+        report.determinism_modules = det.modules_analyzed
     if dynamic:
         sanitizer = run_dynamic(workloads)
         findings.extend(sanitizer.findings())
         report.sanitized_accesses = sanitizer.accesses
         report.sanitized_syncs = sanitizer.syncs
 
+    findings = dedupe_findings(findings)
     active, suppressed, unused = apply_baseline(findings, baseline)
     report.active = active
     report.suppressed = suppressed

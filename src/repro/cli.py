@@ -184,11 +184,14 @@ def cmd_suitability(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     from .check import Baseline, default_baseline_path, run_check
+    from .check.determinism import facts_to_json
     baseline_path = args.baseline or default_baseline_path()
+    determinism = args.determinism or args.facts is not None
     if args.write_baseline:
         report = run_check(baseline=Baseline(), lint=not args.no_lint,
                            dynamic=not args.no_dynamic,
-                           workloads=args.workload)
+                           workloads=args.workload,
+                           determinism=determinism, n_jobs=args.jobs)
         Baseline.from_findings(
             report.active,
             justification="TODO: justify this accepted deviation",
@@ -197,9 +200,29 @@ def cmd_check(args: argparse.Namespace) -> int:
               f"{baseline_path}; fill in the justifications")
         return 0
     report = run_check(baseline=baseline_path, lint=not args.no_lint,
-                       dynamic=not args.no_dynamic, workloads=args.workload)
+                       dynamic=not args.no_dynamic, workloads=args.workload,
+                       determinism=determinism, n_jobs=args.jobs)
+    if args.facts is not None and report.facts is not None:
+        Path(args.facts).write_text(facts_to_json(report.facts))
     print(report.to_json() if args.format == "json" else report.to_text())
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if report.unused_suppressions:
+        if args.prune_baseline:
+            baseline = Baseline.load(baseline_path)
+            stale = {(s.rule, s.path, s.symbol)
+                     for s in report.unused_suppressions}
+            baseline.suppressions = [
+                s for s in baseline.suppressions
+                if (s.rule, s.path, s.symbol) not in stale]
+            baseline.save(baseline_path)
+            print(f"pruned {len(stale)} stale suppression(s) from "
+                  f"{baseline_path}")
+            return 0
+        print("stale suppressions gate the check; rerun with "
+              "--prune-baseline to drop them", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -498,8 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_observations)
 
     p = sub.add_parser("check",
-                       help="kernel lint + workload contracts + warp-"
-                            "hazard sanitizer (docs/CHECK.md)")
+                       help="kernel lint + workload contracts + "
+                            "determinism proof engine + warp-hazard "
+                            "sanitizer (docs/CHECK.md)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--baseline", default=None,
                    help="suppression baseline path "
@@ -511,6 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the static layer (lint + contracts)")
     p.add_argument("--no-dynamic", action="store_true",
                    help="skip the warp-hazard battery")
+    p.add_argument("--determinism", action="store_true",
+                   help="run the interprocedural taint engine "
+                        "(D001-D006: cache/serve value purity, pool "
+                        "dispatch purity, content-key completeness)")
+    p.add_argument("--facts", default=None, metavar="PATH",
+                   help="write determinism_facts.json here "
+                        "(implies --determinism)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan per-file static analysis out over N "
+                        "processes (output is bit-identical to serial)")
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="drop stale baseline suppressions instead of "
+                        "failing on them")
     p.add_argument("--workload", nargs="*", default=None,
                    help="restrict the dynamic battery to these workloads")
     p.set_defaults(fn=cmd_check)

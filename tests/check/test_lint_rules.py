@@ -268,5 +268,23 @@ def test_repo_lint_is_clean():
     assert findings == []
 
 
+# -------------------------------------------- resolver extraction compat
+
+def test_resolver_aliases_point_at_dataflow():
+    """The R005-era private names survive the extraction to dataflow.py
+    (contracts.py and external fixtures import them by the old names)."""
+    import ast
+
+    from repro.check.dataflow import ImportResolver, resolve_dotted
+    from repro.check.lint import _ImportResolver, _resolve_dotted
+    assert _ImportResolver is ImportResolver
+    assert _resolve_dotted is resolve_dotted
+    tree = ast.parse("import numpy as np\nx = np.random.rand(3)\n")
+    resolver = _ImportResolver()
+    resolver.visit(tree)
+    call = tree.body[1].value
+    assert _resolve_dotted(call.func, resolver.names) == "numpy.random.rand"
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

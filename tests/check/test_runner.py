@@ -9,6 +9,7 @@ from repro.check import (
     Finding,
     Suppression,
     apply_baseline,
+    dedupe_findings,
     default_baseline_path,
     run_check,
 )
@@ -113,6 +114,42 @@ class TestRunCheck:
         assert len(report.unused_suppressions) == 1
         assert "stale" in report.to_text()
 
+    def test_parallel_check_matches_serial(self):
+        serial = run_check(dynamic=False, n_jobs=1)
+        parallel = run_check(dynamic=False, n_jobs=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_determinism_layer_populates_facts(self):
+        report = run_check(dynamic=False, determinism=True)
+        assert report.ok, report.to_text()
+        assert report.facts is not None
+        assert report.determinism_functions > 500
+        assert report.determinism_modules > 50
+        assert "determinism" in json.loads(report.to_json())
+        assert "impure" in report.to_text()
+
+
+class TestDedupe:
+    def test_identical_findings_collapse(self):
+        a, b = _finding(line=10), _finding(line=10)
+        assert dedupe_findings([a, b]) == [a]
+
+    def test_distinct_lines_survive(self):
+        a, b = _finding(line=10), _finding(line=11)
+        assert dedupe_findings([a, b]) == [a, b]
+
+    def test_runner_dedupes_before_baseline(self, tmp_path):
+        # two baseline-less copies of one defect must gate as one finding
+        (tmp_path / "kernels").mkdir()
+        (tmp_path / "kernels" / "bad.py").write_text(
+            "import numpy as np\n\n"
+            "def noise(n):\n"
+            "    return np.random.rand(n)\n")
+        report = run_check(root=tmp_path, baseline=Baseline(),
+                           dynamic=False)
+        keys = [(f.rule, f.path, f.line, f.symbol) for f in report.active]
+        assert len(keys) == len(set(keys))
+
 
 # ------------------------------------------------- workload regression
 
@@ -152,6 +189,52 @@ class TestCli:
                      "--baseline", str(out)]) == 0
         base = json.loads(out.read_text())
         assert [s["rule"] for s in base["suppressions"]] == ["R005"]
+
+    def test_stale_suppression_fails_the_cli(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        base = Baseline.load(default_baseline_path())
+        base.suppressions.append(
+            Suppression("R001", "kernels/gone.py", "f", "obsolete"))
+        base.save(stale)
+        assert main(["check", "--no-dynamic",
+                     "--baseline", str(stale)]) == 1
+        err = capsys.readouterr().err
+        assert "--prune-baseline" in err
+
+    def test_prune_baseline_drops_stale_entries(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        base = Baseline.load(default_baseline_path())
+        base.suppressions.append(
+            Suppression("R001", "kernels/gone.py", "f", "obsolete"))
+        base.save(stale)
+        assert main(["check", "--no-dynamic", "--prune-baseline",
+                     "--baseline", str(stale)]) == 0
+        pruned = Baseline.load(stale)
+        assert all(s.path != "kernels/gone.py"
+                   for s in pruned.suppressions)
+        # the still-used stencil entry survives the prune
+        assert any(s.rule == "R005" for s in pruned.suppressions)
+        # and a rerun against the pruned baseline is clean
+        assert main(["check", "--no-dynamic",
+                     "--baseline", str(stale)]) == 0
+
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        assert main(["check", "--no-dynamic", "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["check", "--no-dynamic", "--format", "json",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_facts_flag_writes_byte_identical_artifact(self, tmp_path,
+                                                       capsys):
+        f1, f2 = tmp_path / "facts1.json", tmp_path / "facts2.json"
+        assert main(["check", "--no-dynamic", "--facts", str(f1)]) == 0
+        assert main(["check", "--no-dynamic", "--facts", str(f2)]) == 0
+        capsys.readouterr()
+        assert f1.read_bytes() == f2.read_bytes()
+        payload = json.loads(f1.read_text())
+        assert payload["version"] == 1
+        assert payload["purity"]
 
 
 if __name__ == "__main__":
