@@ -48,12 +48,18 @@ rebound via ``global`` statements).
   must close).
 * ``D006`` key-ambient-read — a content-key constructor reads a file or
   a mutated module global outside the key, same consequence as D005.
+* ``R009`` graph-node-ambient — a :class:`~repro.graph.TaskNode`
+  callable transitively reads unkeyed ambient state (env/file/global):
+  the graph scheduler may run it concurrently with writers of that
+  state, so either the read is folded into the node's arguments or the
+  concurrency policy serializes the node.
 
 Propagation is a fixpoint over the :class:`~repro.check.dataflow.
-PackageGraph` call graph.  Calls into the measurement/fault
-infrastructure (``perf/``, ``faults/``, ``serve/telemetry.py``) are not
-followed: their clock reads feed telemetry and bookkeeping, never the
-values they return — the same scoping the R001/R002 lint rules encode.
+PackageGraph` call graph.  Calls into the measurement/fault/scheduling
+infrastructure (``perf/``, ``faults/``, ``graph/``,
+``serve/telemetry.py``) are not followed: their clock reads feed
+telemetry and bookkeeping, never the values they return — the same
+scoping the R001/R002 lint rules encode.
 Findings carry a witness chain (``f -> g -> time.perf_counter``) naming
 the path by which the taint reaches the sink.
 
@@ -89,12 +95,12 @@ __all__ = [
     "export_facts",
 ]
 
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: measurement/fault infrastructure whose clock/env reads feed telemetry
 #: and bookkeeping, not returned values — calls into these are not
 #: followed and sources inside them are not collected
-_BARRIER_PREFIXES = ("perf/", "faults/")
+_BARRIER_PREFIXES = ("perf/", "faults/", "graph/")
 _BARRIER_FILES = frozenset({"serve/telemetry.py"})
 
 #: source kinds that taint a *value* (sink classes D001/D002)
@@ -140,6 +146,9 @@ class _Facts:
         default_factory=list)
     #: content_key call nodes
     key_calls: list[ast.Call] = field(default_factory=list)
+    #: TaskNode construction sites: (line, fn expr node or None)
+    graph_nodes: list[tuple[int, ast.expr | None]] = field(
+        default_factory=list)
 
 
 # ----------------------------------------------------------------- scanning
@@ -303,6 +312,16 @@ def _scan_function(graph: PackageGraph, minfo: ModuleInfo,
         if full is not None and (full == "content_key"
                                  or full.endswith(".content_key")):
             facts.key_calls.append(n)
+        if full is not None and (full == "TaskNode"
+                                 or full.endswith(".TaskNode")):
+            fn_expr: ast.expr | None = None
+            for kw in n.keywords:
+                if kw.arg == "fn":
+                    fn_expr = kw.value
+                    break
+            if fn_expr is None and len(n.args) >= 3:
+                fn_expr = n.args[2]
+            facts.graph_nodes.append((n.lineno, fn_expr))
 
         # call-graph edges (barrier modules are not followed)
         for callee in graph.resolve_call(minfo, n, finfo):
@@ -319,6 +338,11 @@ def _scan_function(graph: PackageGraph, minfo: ModuleInfo,
     for line, compute in facts.cache_stores:
         if compute is not None:
             target = _resolve_callable(graph, minfo, finfo, compute)
+            if target is not None and not _is_barrier(target.module):
+                facts.callees.append((target.fid, line))
+    for line, node_fn in facts.graph_nodes:
+        if node_fn is not None:
+            target = _resolve_callable(graph, minfo, finfo, node_fn)
             if target is not None and not _is_barrier(target.module):
                 facts.callees.append((target.fid, line))
     return facts
@@ -356,6 +380,15 @@ def _propagate(all_facts: dict[str, _Facts]
     function, the source kinds reachable from it and one witness step:
     either a direct source (``via_fid`` None) or the callee that carries
     the taint in.
+
+    Ambient inputs propagate alongside the value kinds under
+    ``ambient-env`` / ``ambient-file`` / ``ambient-global`` — seeded only
+    by *unkeyed* reads (reads inside ``content_key`` arguments are part
+    of the key, not hidden state).  They do not flip ``pure`` (the value
+    is still deterministic per process) but they do make a function
+    unsafe to schedule concurrently against writers of the same state,
+    which is what the graph scheduler's concurrency policy and rule R009
+    consume them for.
     """
     taint: dict[str, dict[str, tuple[str | None, str, int]]] = {}
     callers: dict[str, list[tuple[str, int]]] = {}
@@ -364,6 +397,10 @@ def _propagate(all_facts: dict[str, _Facts]
         mine: dict[str, tuple[str | None, str, int]] = {}
         for src in f.sources:
             mine.setdefault(src.kind, (None, src.symbol, src.line))
+        for amb, node in f.ambient:
+            if not _inside_key_args(f.key_calls, node):
+                mine.setdefault(f"ambient-{amb.kind}",
+                                (None, amb.symbol, amb.line))
         taint[fid] = mine
         for callee_fid, line in f.callees:
             callers.setdefault(callee_fid, []).append((fid, line))
@@ -407,6 +444,13 @@ def _value_taint(taint, fid: str) -> list[str]:
     return sorted(k for k in taint.get(fid, {}) if k in VALUE_KINDS)
 
 
+def _ambient_taint(taint, fid: str) -> list[str]:
+    """Ambient-input kinds (``env``/``file``/``global``) reachable from
+    ``fid`` through unkeyed reads."""
+    return sorted(k.split("-", 1)[1] for k in taint.get(fid, {})
+                  if k.startswith("ambient-"))
+
+
 def _inside_key_args(key_calls: list[ast.Call], node: ast.AST) -> bool:
     for call in key_calls:
         for arg in list(call.args) + [kw.value for kw in call.keywords]:
@@ -447,6 +491,7 @@ def analyze_package(root: str | Path | None = None, *,
     fact_serve: list[dict] = []
     fact_pool: list[dict] = []
     fact_keys: list[dict] = []
+    fact_graph: list[dict] = []
 
     for fid in sorted(all_facts):
         f = all_facts[fid]
@@ -512,6 +557,35 @@ def analyze_package(root: str | Path | None = None, *,
                                 "see a fork-time snapshot, so serial and "
                                 "parallel runs can diverge"))
 
+        # R009: task-graph node callables must be safe to run concurrently
+        for line, node_fn in f.graph_nodes:
+            target = None if node_fn is None else \
+                _resolve_callable(graph, minfo, f.info, node_fn)
+            ambient = _ambient_taint(taint, target.fid) if target else []
+            value_kinds = _value_taint(taint, target.fid) if target else []
+            fact_graph.append({
+                "module": f.info.module, "function": f.info.qualname,
+                "line": line,
+                "target": target.fid if target else (
+                    None if node_fn is None
+                    else ast.unparse(node_fn)[:60]),
+                "ambient": ambient,
+                "tainted": value_kinds,
+            })
+            if target and ambient:
+                first = f"ambient-{ambient[0]}"
+                findings.append(Finding(
+                    rule="R009", severity="error", path=f.info.module,
+                    symbol=f.info.qualname, line=line,
+                    message=f"graph node callable {target.qualname} reads "
+                            f"unkeyed ambient state "
+                            f"({', '.join(ambient)}: "
+                            f"{_witness(taint, target.fid, first)}) yet "
+                            "the scheduler may run it concurrently; fold "
+                            "the read into the node's arguments/content "
+                            "key, or the concurrency policy will "
+                            "serialize it against every sibling"))
+
         # D005/D006: content-key completeness
         if f.key_calls:
             for amb, node in f.ambient:
@@ -562,7 +636,8 @@ def analyze_package(root: str | Path | None = None, *,
                                   fd.symbol))
     report.facts = export_facts(graph, all_facts, taint,
                                 cache=fact_cache, serve=fact_serve,
-                                pool=fact_pool, keys=fact_keys)
+                                pool=fact_pool, keys=fact_keys,
+                                graph_nodes=fact_graph)
     return report
 
 
@@ -613,14 +688,18 @@ def _closed_over_mutable(graph: PackageGraph,
 
 def export_facts(graph: PackageGraph, all_facts: dict[str, _Facts],
                  taint, *, cache: list[dict], serve: list[dict],
-                 pool: list[dict], keys: list[dict]) -> dict:
+                 pool: list[dict], keys: list[dict],
+                 graph_nodes: list[dict] | None = None) -> dict:
     """The machine-readable artifact (``determinism_facts.json``).
 
     Derived purely from package sources and emitted in sorted order, so
     byte-identity across runs holds by construction (asserted in CI) —
     the analyzer satisfies its own determinism contract.  Consumers:
     delta-invalidated sweeps (which functions feed which content keys)
-    and the dataflow-graph refactor (which functions are pure).
+    and the graph scheduler's :class:`~repro.graph.policy.
+    ConcurrencyPolicy` (version 2: each purity entry's ``ambient`` list
+    names the unkeyed env/file/global inputs reachable from the
+    function — the facts that decide a node's concurrency eligibility).
     """
     purity: dict[str, dict] = {}
     for fid in sorted(all_facts):
@@ -629,6 +708,11 @@ def export_facts(graph: PackageGraph, all_facts: dict[str, _Facts],
         if kinds:
             entry["taint"] = kinds
             entry["witness"] = _witness(taint, fid, kinds[0])
+        ambient = _ambient_taint(taint, fid)
+        if ambient:
+            entry["ambient"] = ambient
+            entry["ambient_witness"] = _witness(
+                taint, fid, f"ambient-{ambient[0]}")
         direct = sorted(
             {f"{s.kind}:{s.symbol}" for s in all_facts[fid].sources})
         if direct:
@@ -648,6 +732,8 @@ def export_facts(graph: PackageGraph, all_facts: dict[str, _Facts],
             pool, key=lambda e: (e["module"], e["line"])),
         "content_keys": sorted(
             keys, key=lambda e: (e["module"], e["function"])),
+        "graph_nodes": sorted(
+            graph_nodes or [], key=lambda e: (e["module"], e["line"])),
     }
 
 

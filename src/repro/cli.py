@@ -228,7 +228,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import check_regression, run_bench, write_bench_json
     results = run_bench(args.bench or None, cache_dir=args.cache_dir,
-                        profile=args.profile)
+                        profile=args.profile, jobs=args.jobs)
     for name, r in sorted(results.items()):
         print(f"{name}: cold {r['cold_s']:.1f}s, warm {r['warm_s']:.1f}s "
               f"({r['warm_speedup']}x)")
@@ -242,6 +242,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if prof.get("coverage") is not None:
             print(f"  coverage: {prof['coverage']:.1%} of cold wall "
                   f"attributed to named stages")
+        if r.get("overlap_ratio") is not None:
+            print(f"  graph overlap: {r['overlap_ratio']:.2f}x "
+                  f"(node wall / makespan, "
+                  f"{r.get('graph_workers', 1)} workers)")
         stages = prof.get("stages")
         if stages and args.profile:
             top = sorted(stages.items(),
@@ -257,7 +261,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {out}")
     if args.check:
         issues = check_regression(results, args.baseline,
-                                  tolerance=args.tolerance)
+                                  tolerance=args.tolerance,
+                                  require_budgets=True)
         if issues:
             for msg in issues:
                 print(f"PERF REGRESSION: {msg}")
@@ -566,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the cold run's per-stage wall-clock "
                         "(plan-build / sweep-execute / model-resolve) to "
                         "each bench result")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes inside each bench subprocess "
+                        "(exported as REPRO_JOBS; default: inherit)")
     p.add_argument("--check", action="store_true",
                    help="compare cold times against a checked-in baseline "
                         "and fail on regression")
@@ -742,6 +750,12 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             pass
     args = build_parser().parse_args(argv)
+    # an explicit --jobs wins everywhere: exporting it as REPRO_JOBS makes
+    # every scheduler and executor constructed deeper in the call stack
+    # (graph scheduler, nested fan-outs, bench subprocesses) resolve to
+    # the same width instead of falling back to the CPU count
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     try:
         with stage(f"cli.{args.command}"):
             rc = args.fn(args)

@@ -52,7 +52,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..perf.cache import content_key
-from ..perf.instrument import stage
+from ..perf.instrument import SEP, stage
 from . import warp_events
 from .isa import Precision
 from .mma import _emit_sampled_m8n8k4, mma_b1_batched, mma_fp64_batched
@@ -225,6 +225,11 @@ def execute_plan(plan: LaunchPlan, label: str = "plan") -> list[np.ndarray]:
     and product stacking under ``plan-build:<label>``; the batched MMA
     sweeps under ``sweep-execute:<label>`` (``repro bench --profile``).
     """
+    # the label lands in stage names, where the profiler's path separator
+    # is structural: a worker-side record whose *root* name contains SEP
+    # would be mistaken for a nested path when the graph scheduler merges
+    # worker registries, double-charging the parent frame's self time
+    label = label.replace(SEP, ":")
     outputs: list[np.ndarray | None] = [None] * len(plan._ops)
 
     # stackable single products: same shapes, no accumulator (mixed ops

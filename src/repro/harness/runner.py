@@ -21,13 +21,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpu.device import Device
+from ..graph import GraphScheduler, TaskGraph, TaskNode, graph_enabled
 from ..kernels.base import Quadrant, Variant, Workload
 from ..kernels import all_workloads
 from ..perf.executor import ParallelExecutor
 from ..perf.instrument import stage
 
-__all__ = ["PerfRecord", "run_performance", "speedup_summary",
-           "default_devices"]
+__all__ = ["PerfRecord", "build_performance_graph", "run_performance",
+           "speedup_summary", "default_devices"]
 
 
 @dataclass(frozen=True)
@@ -89,26 +90,51 @@ def _workload_records(task: tuple[Workload, list[Device]]
     return per_device
 
 
+def build_performance_graph(workloads: list[Workload],
+                            devices: list[Device]) -> TaskGraph:
+    """The paper-scale grid as a task graph: one independent
+    ``perf:<workload>`` node per workload (kind ``perf-grid``), each
+    evaluating all cases, variants, and devices.  No edges — the grid
+    is embarrassingly parallel — but as graph nodes they interleave
+    with whatever else shares the scheduler (e.g. serve's batched
+    queries)."""
+    g = TaskGraph()
+    for w in workloads:
+        g.add(TaskNode(key=f"perf:{w.name}", kind="perf-grid",
+                       fn=_workload_records, args=((w, devices),),
+                       label=f"perf {w.name}"))
+    return g
+
+
 def run_performance(workloads: list[Workload] | None = None,
                     devices: list[Device] | None = None,
                     *, n_jobs: int | None = None,
-                    executor: ParallelExecutor | None = None
-                    ) -> list[PerfRecord]:
+                    executor: ParallelExecutor | None = None,
+                    mode: str | None = None) -> list[PerfRecord]:
     """Evaluate every (gpu, workload, variant, case) combination.
 
-    Records come back in device-major order (device, workload, case,
-    variant) regardless of ``n_jobs``.
+    The default path drains :func:`build_performance_graph` through the
+    :class:`~repro.graph.GraphScheduler`; ``mode="staged"``,
+    ``REPRO_GRAPH=0``, or an explicit ``executor`` selects the legacy
+    staged fan-out.  Records come back in device-major order (device,
+    workload, case, variant) regardless of mode or ``n_jobs``.
     """
     if workloads is None:
         workloads = all_workloads()
     if devices is None:
         devices = default_devices()
-    ex = executor if executor is not None else ParallelExecutor(n_jobs)
-    with stage("harness.run_performance"):
-        per_workload = ex.map(_workload_records,
-                              [(w, devices) for w in workloads],
-                              chunk_size=1,
-                              labels=[w.name for w in workloads])
+    if executor is None and graph_enabled(mode):
+        graph = build_performance_graph(workloads, devices)
+        with stage("harness.run_performance"):
+            results = GraphScheduler(n_jobs).run(graph)
+        per_workload = [results[f"perf:{w.name}"] for w in workloads]
+    else:
+        ex = executor if executor is not None else ParallelExecutor(n_jobs)
+        with stage("harness.run_performance"):
+            per_workload = ex.map(_workload_records,
+                                  [(w, devices) for w in workloads],
+                                  chunk_size=1,
+                                  labels=[w.name for w in workloads])
     records: list[PerfRecord] = []
     for di in range(len(devices)):
         for wi in range(len(workloads)):

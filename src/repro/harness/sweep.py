@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..gpu.device import Device
+from ..graph import GraphScheduler, TaskGraph, TaskNode, graph_enabled
 from ..kernels.base import Variant, Workload, WorkloadCase
 from ..kernels.fft import FftWorkload
 from ..kernels.gemm import GemmWorkload
@@ -24,7 +25,8 @@ from ..kernels.stencil import StencilWorkload
 from ..perf.executor import ParallelExecutor
 from ..perf.instrument import stage
 
-__all__ = ["SweepPoint", "SIZE_SWEEPS", "sweep_sizes", "find_crossover"]
+__all__ = ["SweepPoint", "SIZE_SWEEPS", "build_sweep_graph", "sweep_sizes",
+           "find_crossover"]
 
 
 @dataclass(frozen=True)
@@ -97,22 +99,46 @@ def _sweep_size(task: tuple[str, int, Device, tuple[Variant, ...]]
     return points
 
 
+def build_sweep_graph(name: str, device: Device,
+                      variants: tuple[Variant, ...]) -> TaskGraph:
+    """One size sweep as a task graph: an independent
+    ``sweep:<name>:<size>`` node per grid point (kind ``sweep-point``).
+    Sizes are zero-padded to a fixed width so the scheduler's
+    smallest-key-first tie-break follows numeric sweep order."""
+    g = TaskGraph()
+    for s in SIZE_SWEEPS[name][2]:
+        g.add(TaskNode(key=f"sweep:{name}:{s:010d}", kind="sweep-point",
+                       fn=_sweep_size, args=((name, s, device, variants),),
+                       label=f"sweep {name} n={s}"))
+    return g
+
+
 def sweep_sizes(name: str, device: Device,
                 variants: tuple[Variant, ...] = (Variant.BASELINE,
                                                  Variant.TC),
                 *, n_jobs: int | None = None,
-                executor: ParallelExecutor | None = None
-                ) -> list[SweepPoint]:
+                executor: ParallelExecutor | None = None,
+                mode: str | None = None) -> list[SweepPoint]:
     """Evaluate a workload's analytic model across its size grid.
 
-    The per-size evaluations fan out through the executor; points come
-    back in (size, variant) order regardless of ``n_jobs``.
+    The default path drains :func:`build_sweep_graph` through the
+    :class:`~repro.graph.GraphScheduler`; ``mode="staged"``,
+    ``REPRO_GRAPH=0``, or an explicit ``executor`` selects the legacy
+    staged fan-out (``resumable_sweep`` always does: its journal
+    semantics are per-chunk).  Points come back in (size, variant)
+    order regardless of mode or ``n_jobs``.
     """
     if name not in SIZE_SWEEPS:
         raise ValueError(
             f"no size sweep for {name!r}; available: "
             f"{sorted(SIZE_SWEEPS)}")
     sizes = SIZE_SWEEPS[name][2]
+    if executor is None and graph_enabled(mode):
+        graph = build_sweep_graph(name, device, variants)
+        with stage("harness.sweep_sizes"):
+            results = GraphScheduler(n_jobs).run(graph)
+        per_size = [results[f"sweep:{name}:{s:010d}"] for s in sizes]
+        return [p for chunk in per_size for p in chunk]
     ex = executor if executor is not None else ParallelExecutor(n_jobs)
     with stage("harness.sweep_sizes"):
         per_size = ex.map(_sweep_size,

@@ -49,10 +49,13 @@ BENCHES: dict[str, tuple[str, ...]] = {
 
 
 def _invoke(args: tuple[str, ...], cache_dir: str,
-            stage_json: str | None = None) -> float:
+            stage_json: str | None = None,
+            jobs: int | None = None) -> float:
     """Run one CLI invocation in a fresh interpreter; returns wall-clock."""
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = cache_dir
+    if jobs is not None:
+        env["REPRO_JOBS"] = str(jobs)
     if stage_json is not None:
         env["REPRO_STAGE_JSON"] = stage_json
     else:
@@ -81,15 +84,18 @@ def _invoke(args: tuple[str, ...], cache_dir: str,
 #: but grouped as ``misc``; ``other`` is wall minus all attributed time.
 PROFILE_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("plan-build", ("plan-build",)),
-    ("sweep-execute", ("sweep-execute",)),
+    ("sweep-execute", ("sweep-execute", "sweep-point")),
     ("model-resolve", ("model-resolve",)),
-    ("dataset-gen", ("datasets.",)),
-    ("accuracy-audit", ("accuracy.", "analysis.accuracy_table")),
-    ("observation-audit", ("verify.", "analysis.verify_all")),
+    ("dataset-gen", ("datasets.", "dataset-gen")),
+    ("accuracy-audit", ("accuracy.", "analysis.accuracy_table",
+                        "accuracy-audit")),
+    ("observation-audit", ("verify.", "analysis.verify_all",
+                           "observation-audit")),
     ("refinement", ("refine.",)),
     ("ozaki", ("ozaki.",)),
     ("analysis", ("analysis.",)),
-    ("harness", ("harness.",)),
+    ("harness", ("harness.", "perf-grid")),
+    ("graph", ("graph",)),
     ("startup", ("cli.startup",)),
 )
 
@@ -131,12 +137,17 @@ def profile_coverage(stages: dict[str, dict], wall: float) -> float:
 
 def run_bench(names: list[str] | None = None,
               cache_dir: str | Path | None = None,
-              profile: bool = False) -> dict[str, dict]:
+              profile: bool = False,
+              jobs: int | None = None) -> dict[str, dict]:
     """Measure cold and warm wall-clock for the selected benches.
 
     With no ``cache_dir`` a fresh temporary directory is used (true cold
     start) and removed afterwards.  ``profile=True`` attaches the cold
-    run's per-stage wall-clock to each result.
+    run's per-stage wall-clock to each result.  ``jobs`` pins the bench
+    subprocesses' worker count (exported as ``REPRO_JOBS``), and when the
+    invocation executed a task graph, the graph meta — including the
+    ``overlap_ratio`` figure of merit — is lifted to the result's top
+    level for the ``--check`` gate.
     """
     names = list(BENCHES) if names is None else names
     for name in names:
@@ -155,8 +166,8 @@ def run_bench(names: list[str] | None = None,
                 else None
             cold = _invoke(BENCHES[name], str(bench_cache),
                            stage_json=str(stage_json) if stage_json
-                           else None)
-            warm = _invoke(BENCHES[name], str(bench_cache))
+                           else None, jobs=jobs)
+            warm = _invoke(BENCHES[name], str(bench_cache), jobs=jobs)
             results[name] = {
                 "args": list(BENCHES[name]),
                 "cold_s": round(cold, 3),
@@ -180,6 +191,12 @@ def run_bench(names: list[str] | None = None,
                 meta = dump.get("meta")
                 if meta:
                     results[name]["profile"]["meta"] = meta
+                    graph = meta.get("graph")
+                    if isinstance(graph, dict):
+                        results[name]["overlap_ratio"] = \
+                            graph.get("overlap_ratio")
+                        results[name]["graph_workers"] = \
+                            graph.get("workers")
     finally:
         if ctx:
             ctx.cleanup()
@@ -188,7 +205,8 @@ def run_bench(names: list[str] | None = None,
 
 def check_regression(results: dict[str, dict],
                      baseline_path: str | Path,
-                     tolerance: float = 0.25) -> list[str]:
+                     tolerance: float = 0.25,
+                     require_budgets: bool = False) -> list[str]:
     """Compare cold times against a checked-in bench baseline.
 
     Returns one message per bench whose cold wall-clock exceeds the
@@ -197,9 +215,18 @@ def check_regression(results: dict[str, dict],
     file is itself an issue so CI cannot silently skip the gate.
 
     The baseline's optional ``budgets`` block adds absolute bounds per
-    bench: ``cold_max_s`` / ``warm_max_s`` caps, and ``min_coverage``
+    bench: ``cold_max_s`` / ``warm_max_s`` caps, ``min_coverage``
     (enforced only when the run carries a profile — coverage needs
-    ``--profile``'s stage dump to exist).
+    ``--profile``'s stage dump to exist), and ``min_overlap_ratio`` (the
+    task-graph figure of merit; enforced only when the run recorded an
+    overlap *and* the graph actually had multiple workers — a serial
+    schedule cannot overlap).  Every budget violation reports the budget,
+    the measured value, and the delta, so a red gate reads without
+    cross-referencing the baseline.
+
+    ``require_budgets=True`` (the ``repro bench --check`` default) adds a
+    diagnostic for every measured bench with no budgets entry — a gate
+    that silently bounds nothing is itself a regression.
     """
     path = Path(baseline_path)
     if not path.exists():
@@ -216,26 +243,47 @@ def check_regression(results: dict[str, dict],
             if cold > limit:
                 issues.append(
                     f"{name}: cold {cold:.1f}s exceeds baseline {ref:.1f}s "
-                    f"by more than {tolerance:.0%} (limit {limit:.1f}s)")
+                    f"by more than {tolerance:.0%} (limit {limit:.1f}s, "
+                    f"delta {cold - limit:+.1f}s)")
         budget = budgets.get(name, {})
+        if require_budgets and not budget:
+            issues.append(
+                f"{name}: no budgets defined in {path} — the gate bounds "
+                f"nothing for this bench (add a budgets.{name} block)")
         cold_max = budget.get("cold_max_s")
         if cold_max is not None and cold > float(cold_max):
-            issues.append(f"{name}: cold {cold:.1f}s over the "
-                          f"{float(cold_max):.1f}s budget")
+            issues.append(
+                f"{name}: cold {cold:.1f}s over the {float(cold_max):.1f}s "
+                f"budget (delta {cold - float(cold_max):+.1f}s)")
         warm_max = budget.get("warm_max_s")
         warm = results[name].get("warm_s")
         if warm_max is not None and warm is not None \
                 and float(warm) > float(warm_max):
-            issues.append(f"{name}: warm {float(warm):.1f}s over the "
-                          f"{float(warm_max):.1f}s budget")
+            issues.append(
+                f"{name}: warm {float(warm):.1f}s over the "
+                f"{float(warm_max):.1f}s budget "
+                f"(delta {float(warm) - float(warm_max):+.1f}s)")
         min_cov = budget.get("min_coverage")
         coverage = results[name].get("profile", {}).get("coverage")
         if min_cov is not None and coverage is not None \
                 and float(coverage) < float(min_cov):
             issues.append(
                 f"{name}: profile coverage {float(coverage):.2f} below "
-                f"the {float(min_cov):.2f} floor — stage attribution "
-                f"regressed")
+                f"the {float(min_cov):.2f} floor "
+                f"(delta {float(coverage) - float(min_cov):+.2f}) — stage "
+                f"attribution regressed")
+        min_overlap = budget.get("min_overlap_ratio")
+        overlap = results[name].get("overlap_ratio")
+        workers = results[name].get("graph_workers")
+        if min_overlap is not None and overlap is not None \
+                and workers is not None and int(workers) > 1 \
+                and float(overlap) < float(min_overlap):
+            issues.append(
+                f"{name}: graph overlap {float(overlap):.2f}x below the "
+                f"{float(min_overlap):.2f}x floor "
+                f"(delta {float(overlap) - float(min_overlap):+.2f}) with "
+                f"{int(workers)} workers — pipeline stages stopped "
+                f"overlapping")
     return issues
 
 

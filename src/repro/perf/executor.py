@@ -51,7 +51,8 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from .. import faults
 from .instrument import (merge_stage_timings, note_worker_count,
-                         reset_stage_timings, snapshot_stage_timings, stage)
+                         reset_stage_stack, reset_stage_timings,
+                         snapshot_stage_timings, stage)
 
 __all__ = ["ParallelExecutor", "WorkerTaskError", "resolve_n_jobs"]
 
@@ -159,6 +160,7 @@ def _run_chunk_remote(payload: tuple[Callable[[T], R], list[T],
     if faults.site("executor.worker_hang", key=fault_key):
         time.sleep(hang_s)
     reset_stage_timings()
+    reset_stage_stack()
     out = _run_chunk((fn, chunk, labels, stage_names))
     return out, snapshot_stage_timings()
 

@@ -28,9 +28,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 __all__ = ["StageTiming", "stage", "record_stage", "stage_timings",
-           "reset_stage_timings", "snapshot_stage_timings",
-           "merge_stage_timings", "current_stage_path",
-           "note_worker_count", "stage_meta", "SEP"]
+           "reset_stage_timings", "reset_stage_stack",
+           "snapshot_stage_timings", "merge_stage_timings",
+           "current_stage_path", "note_worker_count", "note_graph_run",
+           "stage_meta", "SEP"]
 
 #: path separator between nested stage names (stage names must not use it)
 SEP = "/"
@@ -157,6 +158,32 @@ def note_worker_count(n: int) -> None:
     _META["max_workers"] = max(int(n), int(_META.get("max_workers", 0)))
 
 
+def note_graph_run(nodes: int, node_wall_s: float, makespan_s: float, *,
+                   workers: int = 1) -> None:
+    """Accumulate one task-graph execution into the run metadata.
+
+    ``overlap_ratio`` — summed node wall over summed makespan — is the
+    graph scheduler's figure of merit: 1.0 means stages ran back to
+    back (no overlap), above 1.0 means independent nodes genuinely
+    overlapped.  The bench profiler lifts it from the ``REPRO_STAGE_JSON``
+    meta into ``BENCH_perf.json``, where ``repro bench --check`` gates
+    it (the ``min_overlap_ratio`` budget applies only to multi-worker
+    runs — a serial schedule cannot overlap).
+    """
+    g = _META.get("graph")
+    if not isinstance(g, dict):
+        g = _META["graph"] = {"runs": 0, "nodes": 0, "workers": 1,
+                              "node_wall_s": 0.0, "makespan_s": 0.0,
+                              "overlap_ratio": 1.0}
+    g["runs"] += 1
+    g["nodes"] += int(nodes)
+    g["workers"] = max(int(workers), g["workers"])
+    g["node_wall_s"] = round(g["node_wall_s"] + float(node_wall_s), 6)
+    g["makespan_s"] = round(g["makespan_s"] + float(makespan_s), 6)
+    g["overlap_ratio"] = round(g["node_wall_s"] / g["makespan_s"], 3) \
+        if g["makespan_s"] > 0 else 1.0
+
+
 def stage_meta() -> dict[str, object]:
     """Run metadata recorded alongside the stage registry."""
     return dict(_META)
@@ -166,3 +193,18 @@ def reset_stage_timings() -> None:
     """Clear the registry (tests and repeated in-process runs)."""
     _REGISTRY.clear()
     _META.clear()
+
+
+def reset_stage_stack() -> None:
+    """Drop stage frames this thread inherited across a ``fork``.
+
+    A pool worker forked inside a ``stage(...)`` scope inherits the
+    parent's nesting stack, but the scopes that pushed those frames only
+    exit in the parent — left in place they prefix every worker record
+    with the parent's path, so :func:`merge_stage_timings` (which
+    prepends that path itself) doubled it and its worker-root discount
+    never fired.  Worker entry points clear the stack next to
+    :func:`reset_stage_timings`; worker-side scopes are symmetric, so
+    the stack returns to empty between chunks.
+    """
+    _stack().clear()

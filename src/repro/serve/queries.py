@@ -10,10 +10,11 @@ the same code on the same deterministic inputs and are therefore
 bit-identical (floats cross the JSON wire via repr-shortest round-trip).
 
 :func:`resolve_perf_batch` is the batching entry: several compatible
-(same device list) perf queries merge into one
-:class:`~repro.perf.executor.ParallelExecutor` submission over the union
-of their workloads, then split back per query in the exact order a direct
-call would have produced.
+(same device list) perf queries merge into one task-graph execution
+(:func:`~repro.harness.runner.run_performance` in graph mode — serve is
+just another graph consumer) over the union of their workloads, then
+split back per query in the exact order a direct call would have
+produced.
 """
 
 from __future__ import annotations
@@ -31,7 +32,6 @@ from ..gpu.device import Device
 from ..harness.runner import PerfRecord, run_performance
 from ..harness.whatif import evaluate_whatif, hypothetical
 from ..kernels import Variant, all_workloads, get_workload
-from ..perf.executor import ParallelExecutor
 
 __all__ = ["jsonable", "perf_payload", "resolve_perf_batch",
            "resolve_query"]
@@ -75,7 +75,7 @@ def _resolve_perf(params: Mapping[str, Any], *,
     workloads = None if names is None else [get_workload(n) for n in names]
     devices = [Device(g) for g in params["gpus"]]
     records = run_performance(workloads=workloads, devices=devices,
-                              executor=ParallelExecutor(n_jobs))
+                              n_jobs=n_jobs)
     return perf_payload(records)
 
 
@@ -84,11 +84,12 @@ def resolve_perf_batch(param_sets: Sequence[Mapping[str, Any]],
     """Answer several same-device perf queries from one grid evaluation.
 
     The union of the queries' workloads (suite order; ``None`` means the
-    whole suite) is evaluated once through one ``ParallelExecutor``
-    submission, then each query's records are re-sliced in the device-
-    major, requested-workload order a direct :func:`run_performance` call
-    returns — the splitting is pure bookkeeping, so batched answers stay
-    bit-identical to unbatched ones.
+    whole suite) is evaluated once as a single task graph (one
+    ``perf-grid`` node per workload, drained by the
+    :class:`~repro.graph.GraphScheduler`), then each query's records are
+    re-sliced in the device-major, requested-workload order a direct
+    :func:`run_performance` call returns — the splitting is pure
+    bookkeeping, so batched answers stay bit-identical to unbatched ones.
     """
     if not param_sets:
         return []
@@ -108,7 +109,7 @@ def resolve_perf_batch(param_sets: Sequence[Mapping[str, Any]],
     devices = [Device(g) for g in gpus]
     records = run_performance(
         workloads=[get_workload(n) for n in union], devices=devices,
-        executor=ParallelExecutor(n_jobs))
+        n_jobs=n_jobs)
     by_key: dict[tuple[str, str], list[PerfRecord]] = {}
     for r in records:
         by_key.setdefault((r.gpu, r.workload), []).append(r)

@@ -326,5 +326,86 @@ class TestWholeRepo:
         assert ("serve/scheduler.py", "query_key") in key_fns
 
 
+_GRAPH_PRELUDE = "from repro.graph import TaskGraph, TaskNode\n"
+
+
+class TestR009GraphNodeAmbient:
+    def test_env_reading_node_callable_fires(self):
+        rules = _rules({"a.py": _GRAPH_PRELUDE + (
+            "import os\n"
+            "def worker(x):\n"
+            "    return x + len(os.environ.get('HOME', ''))\n"
+            "def build():\n"
+            "    g = TaskGraph()\n"
+            "    g.add(TaskNode(key='k', kind='unit', fn=worker))\n"
+            "    return g\n")})
+        assert [r[0] for r in rules] == ["R009"]
+
+    def test_pure_node_callable_is_clean(self):
+        assert _rules({"a.py": _GRAPH_PRELUDE + (
+            "def worker(x):\n"
+            "    return x * x\n"
+            "def build():\n"
+            "    g = TaskGraph()\n"
+            "    g.add(TaskNode(key='k', kind='unit', fn=worker))\n"
+            "    return g\n")}) == []
+
+    def test_ambient_read_reaches_node_through_a_hop(self):
+        rules = _rules({"a.py": _GRAPH_PRELUDE + (
+            "def slurp():\n"
+            "    return open('cfg.txt').read()\n"
+            "def worker(x):\n"
+            "    return slurp() + str(x)\n"
+            "def build():\n"
+            "    g = TaskGraph()\n"
+            "    g.add(TaskNode(key='k', kind='unit', fn=worker))\n"
+            "    return g\n")})
+        assert [r[0] for r in rules] == ["R009"]
+
+    def test_keyed_env_read_is_clean(self):
+        """An env read folded into a content key is an argument, not
+        ambient state — the node's identity captures it."""
+        assert _rules({"a.py": _GRAPH_PRELUDE + _CACHE_PRELUDE + (
+            "import os\n"
+            "def worker(x):\n"
+            "    key = content_key('w', os.environ.get('MODE', ''))\n"
+            "    return (key, x)\n"
+            "def build():\n"
+            "    g = TaskGraph()\n"
+            "    g.add(TaskNode(key='k', kind='unit', fn=worker))\n"
+            "    return g\n")}) == []
+
+    def test_facts_export_graph_node_sites(self):
+        rep = analyze_package(graph=PackageGraph.from_sources(
+            {"a.py": _GRAPH_PRELUDE + (
+                "import os\n"
+                "def clean(x):\n"
+                "    return x\n"
+                "def dirty(x):\n"
+                "    return os.environ.get('HOME')\n"
+                "def build():\n"
+                "    g = TaskGraph()\n"
+                "    g.add(TaskNode(key='a', kind='unit', fn=clean))\n"
+                "    g.add(TaskNode(key='b', kind='unit', fn=dirty))\n"
+                "    return g\n")}))
+        sites = {e["target"]: e for e in rep.facts["graph_nodes"]}
+        assert sites["a.py::clean"]["ambient"] == []
+        assert sites["a.py::dirty"]["ambient"] == ["env"]
+        assert rep.facts["purity"]["a.py::dirty"]["ambient"] == ["env"]
+
+    def test_repo_graph_builders_are_r009_clean(self):
+        """The five shipped node callables must stay provably pure —
+        the concurrency policy schedules them on these facts."""
+        facts = analyze_package(package_root()).facts
+        targets = {e["target"] for e in facts["graph_nodes"]}
+        assert {"analysis/observations.py::_node_dataset",
+                "analysis/observations.py::_node_accuracy",
+                "analysis/observations.py::_run_observation",
+                "harness/runner.py::_workload_records",
+                "harness/sweep.py::_sweep_size"} <= targets
+        for e in facts["graph_nodes"]:
+            assert e["ambient"] == [] and e["tainted"] == [], e
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

@@ -233,8 +233,9 @@ class TestCli:
         capsys.readouterr()
         assert f1.read_bytes() == f2.read_bytes()
         payload = json.loads(f1.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["purity"]
+        assert "graph_nodes" in payload
 
 
 if __name__ == "__main__":

@@ -205,3 +205,85 @@ class TestBenchCliFlags:
         assert args.tolerance == pytest.approx(0.25)
         assert args.baseline == "BENCH_perf.json"
         assert not args.profile and not args.check
+
+
+class TestBudgetDiagnostics:
+    def _baseline(self, tmp_path, budgets):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "schema": 2,
+            "benches": {"observations": {"cold_s": 10.0}},
+            "budgets": budgets}))
+        return path
+
+    def test_messages_carry_budget_measured_delta(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"cold_max_s": 8.0,
+                                        "warm_max_s": 1.5}})
+        issues = check_regression(
+            {"observations": {"cold_s": 9.5, "warm_s": 2.0}}, base)
+        cold = next(i for i in issues if "cold" in i)
+        assert "9.5s" in cold and "8.0s" in cold and "+1.5s" in cold
+        warm = next(i for i in issues if "warm" in i)
+        assert "2.0s" in warm and "1.5s" in warm and "+0.5s" in warm
+
+    def test_missing_budgets_flagged_when_required(self, tmp_path):
+        base = self._baseline(tmp_path, {})
+        results = {"observations": {"cold_s": 5.0}}
+        # the library default stays permissive (budget-less baselines)
+        assert check_regression(results, base) == []
+        issues = check_regression(results, base, require_budgets=True)
+        assert len(issues) == 1
+        assert "no budgets defined" in issues[0]
+        assert "budgets.observations" in issues[0]
+
+    def test_required_budgets_satisfied_by_any_entry(self, tmp_path):
+        base = self._baseline(
+            tmp_path, {"observations": {"cold_max_s": 30.0}})
+        assert check_regression({"observations": {"cold_s": 5.0}}, base,
+                                require_budgets=True) == []
+
+
+class TestOverlapBudget:
+    def _baseline(self, tmp_path, min_overlap=1.05):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "schema": 2,
+            "benches": {"observations": {"cold_s": 10.0}},
+            "budgets": {"observations":
+                        {"min_overlap_ratio": min_overlap}}}))
+        return path
+
+    def _result(self, overlap=None, workers=None):
+        r = {"cold_s": 5.0, "warm_s": 0.5}
+        if overlap is not None:
+            r["overlap_ratio"] = overlap
+        if workers is not None:
+            r["graph_workers"] = workers
+        return {"observations": r}
+
+    def test_low_overlap_flagged_with_multiple_workers(self, tmp_path):
+        base = self._baseline(tmp_path)
+        issues = check_regression(self._result(overlap=1.0, workers=2),
+                                  base)
+        assert len(issues) == 1
+        assert "overlap 1.00x" in issues[0]
+        assert "1.05x floor" in issues[0]
+        assert "-0.05" in issues[0] and "2 workers" in issues[0]
+
+    def test_serial_run_cannot_fail_the_overlap_floor(self, tmp_path):
+        """A one-worker schedule cannot overlap; the floor only binds
+        multi-worker runs."""
+        base = self._baseline(tmp_path)
+        assert check_regression(self._result(overlap=1.0, workers=1),
+                                base) == []
+
+    def test_run_without_graph_meta_passes(self, tmp_path):
+        # e.g. REPRO_GRAPH=0 staged runs record no overlap at all
+        base = self._baseline(tmp_path)
+        assert check_regression(self._result(), base) == []
+
+    def test_healthy_overlap_passes(self, tmp_path):
+        base = self._baseline(tmp_path)
+        assert check_regression(self._result(overlap=1.8, workers=2),
+                                base) == []
