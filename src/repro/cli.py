@@ -22,6 +22,9 @@ Beyond the artifact, the serving stack (docs/SERVE.md):
 * ``cache``      — result-cache footprint: ``stats`` and LRU ``prune``
 * ``sweep``      — size sweep with a per-point checkpoint journal;
   ``--resume`` continues a killed run bit-identically
+* ``fabric``     — the sharded tier: ``start`` spawns N shard processes
+  behind a consistent-hash router, ``status`` renders shard health
+  (``loadgen --router N`` self-hosts the same fabric for drills)
 """
 
 from __future__ import annotations
@@ -286,6 +289,13 @@ def _parse_query_params(pairs: list[str]) -> dict:
     return params
 
 
+def _resolve_token(value: str | None) -> str | None:
+    """An explicit --token wins; REPRO_SERVE_TOKEN is the env fallback
+    (the fabric launcher hands shards their secret this way — argv is
+    world-readable in a process listing, the environment is not)."""
+    return value or os.environ.get("REPRO_SERVE_TOKEN") or None
+
+
 def _serve_config(args: argparse.Namespace):
     from .serve import ServeConfig
     return ServeConfig(
@@ -295,7 +305,10 @@ def _serve_config(args: argparse.Namespace):
         default_deadline_s=args.deadline,
         batch_window_s=args.batch_window,
         breaker_threshold=args.breaker_threshold,
-        breaker_cooldown_s=args.breaker_cooldown)
+        breaker_cooldown_s=args.breaker_cooldown,
+        shard_id=args.shard_id, token=_resolve_token(args.token),
+        auth_rate=args.auth_rate, auth_burst=args.auth_burst,
+        persist=args.persist, store_dir=args.store_dir)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -308,9 +321,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     async def _main() -> None:
         service = CharacterizationService(config)
-        host, port = await service.start_tcp()
+        try:
+            host, port = await service.start_tcp()
+        except ValueError as exc:
+            # e.g. a non-loopback bind without a token: a config error,
+            # not a crash — no traceback
+            raise SystemExit(f"repro serve: {exc}") from None
+        shard = f", shard {config.shard_id}" if config.shard_id else ""
+        auth = ", token auth" if config.token else ""
+        store = ", persistent store" if config.persist else ""
         print(f"repro serve: listening on {host}:{port} "
-              f"({service.pool.mode} pool, {config.workers} workers); "
+              f"({service.pool.mode} pool, {config.workers} workers"
+              f"{shard}{auth}{store}); "
               f"Ctrl-C stops, SIGTERM drains")
         loop = asyncio.get_running_loop()
         forever = asyncio.ensure_future(service.serve_forever())
@@ -338,7 +360,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from .serve import ProtocolError, ServeClient
+    from .serve import ProtocolError, ServeClient, ServeConnectionError
     from .serve.server import run_query_locally
 
     params = _parse_query_params(args.param)
@@ -348,10 +370,22 @@ def cmd_query(args: argparse.Namespace) -> int:
                                      deadline_s=args.deadline,
                                      fresh=args.fresh)
         else:
-            with ServeClient(args.host, args.port) as client:
+            with ServeClient(args.host, args.port,
+                             token=_resolve_token(args.token)) as client:
                 resp = client.query(args.kind, params,
                                     deadline_s=args.deadline,
                                     fresh=args.fresh)
+    except ServeConnectionError as exc:
+        # typed connection failure: name the endpoint, shard, and retry
+        # budget burned — machine-readable, no traceback
+        print(json.dumps({"ok": False,
+                          "error": {"code": exc.code,
+                                    "message": exc.message,
+                                    "host": exc.host, "port": exc.port,
+                                    "shard_id": exc.shard_id,
+                                    "retry_count": exc.retry_count}},
+                         indent=2))
+        return 1
     except ProtocolError as exc:
         print(json.dumps({"ok": False,
                           "error": {"code": exc.code,
@@ -361,6 +395,8 @@ def cmd_query(args: argparse.Namespace) -> int:
                "stale": resp.stale,
                ("result" if resp.ok else "error"):
                    resp.result if resp.ok else resp.error}
+    if resp.shard_id is not None:
+        payload["shard_id"] = resp.shard_id
     if args.trace and resp.trace:
         payload["trace"] = resp.trace
     print(json.dumps(payload, indent=None if args.compact else 2))
@@ -368,36 +404,84 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
+    import threading
+
     from . import faults
     from .serve import (
+        DEFAULT_MIX,
         HostedService,
         format_loadgen_report,
         loadgen_failures,
         run_loadgen,
     )
 
+    if args.kill_shard_after is not None and not args.router:
+        raise SystemExit("--kill-shard-after needs --router: the drill "
+                         "kills one shard of a self-hosted fabric")
     verify = args.verify
     client_retries = 2
     if args.chaos is not None:
-        if not args.self_host:
-            raise SystemExit("--chaos needs --self-host: the fault plan "
-                             "must be installed in the server process")
+        if not (args.self_host or args.router):
+            raise SystemExit("--chaos needs --self-host or --router: the "
+                             "fault plan must be installed in the server "
+                             "process")
         rate = args.chaos
-        faults.install_plan(
-            f"serve.conn_drop={rate:g},executor.worker_crash={rate:g},"
-            f"cache.read_corrupt={rate:g},cache.write_fail={rate:g},"
-            f"seed={args.chaos_seed}")
+        if args.router:
+            # fabric shards run thread pools (no worker_crash site) but
+            # add the router's own failover and stale-routing drills
+            plan = (f"serve.conn_drop={rate:g},"
+                    f"cache.read_corrupt={rate:g},"
+                    f"cache.write_fail={rate:g},"
+                    f"fabric.shard_down={rate:g},"
+                    f"fabric.route_stale={rate:g}")
+        else:
+            plan = (f"serve.conn_drop={rate:g},"
+                    f"executor.worker_crash={rate:g},"
+                    f"cache.read_corrupt={rate:g},"
+                    f"cache.write_fail={rate:g}")
+        faults.install_plan(f"{plan},seed={args.chaos_seed}")
         verify = True       # chaos without answer checking proves nothing
         client_retries = 8  # sustained drops need headroom to converge
+
+    token = _resolve_token(args.token)
 
     def _run(host: str, port: int) -> dict:
         return run_loadgen(host, port, clients=args.clients,
                            duration_s=args.duration,
                            deadline_s=args.deadline, fresh=args.fresh,
-                           verify=verify, client_retries=client_retries)
+                           verify=verify, client_retries=client_retries,
+                           token=token)
 
     try:
-        if args.self_host:
+        if args.router:
+            from .fabric.cluster import HostedFabric
+
+            fabric = HostedFabric(args.router, token=token,
+                                  persist=args.persist,
+                                  store_dir=args.store_dir,
+                                  shard_workers=args.workers)
+            with fabric:
+                assert fabric.address is not None
+                host, port = fabric.address
+                timer = None
+                if args.kill_shard_after is not None:
+                    # kill the shard owning the mix's first query key:
+                    # deterministic victim, guaranteed mid-drill traffic
+                    kind, params = DEFAULT_MIX[0]
+                    victim = fabric.owner_of(kind, params)
+                    print(f"loadgen: killing shard {victim} "
+                          f"{args.kill_shard_after:g}s into the run",
+                          file=sys.stderr)
+                    timer = threading.Timer(args.kill_shard_after,
+                                            fabric.kill_shard, (victim,))
+                    timer.daemon = True
+                    timer.start()
+                try:
+                    summary = _run(host, port)
+                finally:
+                    if timer is not None:
+                        timer.cancel()
+        elif args.self_host:
             config = _serve_config(args)
             config = type(config)(**{**config.__dict__,
                                      "host": "127.0.0.1", "port": 0})
@@ -486,6 +570,101 @@ def cmd_cache(args: argparse.Namespace) -> int:
           f"({format_si(float(result.removed_bytes), 'B')}); "
           f"{result.remaining_entries} entries "
           f"({format_si(float(result.remaining_bytes), 'B')}) remain")
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    token = _resolve_token(args.token)
+    if args.fabric_command == "status":
+        from .serve import ProtocolError, ServeClient
+
+        try:
+            with ServeClient(args.host, args.port, token=token) as client:
+                resp = client.query("metrics")
+        except ProtocolError as exc:
+            print(json.dumps({"ok": False,
+                              "error": {"code": exc.code,
+                                        "message": exc.message}},
+                             indent=2))
+            return 1
+        result = resp.result if resp.ok and isinstance(resp.result, dict) \
+            else {}
+        shards = result.get("shards")
+        if not shards:
+            # a plain serve process (or an error): dump what came back
+            print(json.dumps(
+                {"ok": resp.ok,
+                 ("result" if resp.ok else "error"):
+                     resp.result if resp.ok else resp.error}, indent=2))
+            return 0 if resp.ok else 1
+        rows = [[sid, info.get("host", "?"), info.get("port", "?"),
+                 "up" if info.get("healthy") else "DOWN"]
+                for sid, info in sorted(shards.items())]
+        ring = result.get("ring", {})
+        print(format_table(
+            ["shard", "host", "port", "health"], rows,
+            title=f"fabric at {args.host}:{args.port} "
+                  f"({ring.get('replicas', '?')} ring replicas/shard)"))
+        counters = (result.get("router") or {}).get("counters")
+        if counters:
+            print("router: " + json.dumps(counters, sort_keys=True))
+        return 0
+
+    # start: N shard processes + the router, foreground
+    import asyncio
+    import signal
+
+    from .fabric.cluster import spawn_local_shards, terminate_shards
+    from .fabric.router import FabricRouter, RouterConfig
+
+    try:
+        procs, specs = spawn_local_shards(
+            args.shards, token=token, store_dir=args.store_dir,
+            pool=args.pool, workers=args.workers)
+    except (RuntimeError, ValueError) as exc:
+        raise SystemExit(f"repro fabric: {exc}") from None
+    try:
+        router = FabricRouter(specs, RouterConfig(
+            host=args.host, port=args.port, token=token,
+            auth_rate=args.auth_rate, auth_burst=args.auth_burst,
+            probe_interval_s=args.probe_interval))
+
+        async def _main() -> None:
+            try:
+                host, port = await router.start_tcp()
+            except ValueError as exc:
+                raise SystemExit(f"repro fabric: {exc}") from None
+            names = ", ".join(s.shard_id for s in specs)
+            auth = "token auth" if token else "loopback only"
+            print(f"repro fabric: router on {host}:{port} over "
+                  f"{len(specs)} shard(s) [{names}] ({auth}); "
+                  f"Ctrl-C stops, SIGTERM drains")
+            loop = asyncio.get_running_loop()
+            forever = asyncio.ensure_future(router.serve_forever())
+
+            def _drain() -> None:
+                print("repro fabric: SIGTERM — stopping the router",
+                      file=sys.stderr)
+                forever.cancel()
+
+            try:
+                loop.add_signal_handler(signal.SIGTERM, _drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without signal handlers
+            try:
+                await forever
+            finally:
+                counters = router.telemetry.snapshot().get("counters", {})
+                print("repro fabric: stopped; "
+                      + json.dumps(counters, sort_keys=True),
+                      file=sys.stderr)
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+    finally:
+        terminate_shards(procs)
     return 0
 
 
@@ -623,6 +802,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--breaker-cooldown", type=float, default=10.0,
                        help="seconds an open breaker waits before its "
                             "half-open probe")
+        p.add_argument("--shard-id", default=None,
+                       help="shard identity stamped into responses and "
+                            "telemetry (fabric deployments)")
+        p.add_argument("--token", default=None,
+                       help="shared fabric secret; clients must open "
+                            "with a handshake line (default: "
+                            "REPRO_SERVE_TOKEN; required to bind "
+                            "non-loopback hosts)")
+        p.add_argument("--auth-rate", type=float, default=None,
+                       help="per-token queries/second after the "
+                            "handshake (default: unlimited)")
+        p.add_argument("--auth-burst", type=float, default=None,
+                       help="per-token bucket burst "
+                            "(default: max(rate, 1))")
+        p.add_argument("--persist", action="store_true",
+                       help="spill the served-result LRU through the "
+                            "result cache so a restarted shard warms "
+                            "from disk")
+        p.add_argument("--store-dir", default=None,
+                       help="persistent store root for --persist "
+                            "(default: the result-cache directory)")
 
     p = sub.add_parser("serve",
                        help="TCP characterization-query service "
@@ -642,6 +842,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "--param 'workloads=[\"gemv\",\"spmv\"]'")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7341)
+    p.add_argument("--token", default=None,
+                   help="shared fabric secret for authenticated servers "
+                        "(default: REPRO_SERVE_TOKEN)")
     p.add_argument("--local", action="store_true",
                    help="serve in-process instead of over TCP")
     p.add_argument("--deadline", type=float, default=None)
@@ -660,6 +863,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--self-host", action="store_true",
                    help="boot a server in-process on an ephemeral port "
                         "and drive that")
+    p.add_argument("--router", type=int, default=None, metavar="N",
+                   help="self-host N shards behind an in-process "
+                        "consistent-hash router and drive that "
+                        "(the fabric shape of --self-host)")
+    p.add_argument("--kill-shard-after", type=float, default=None,
+                   metavar="S",
+                   help="kill the shard owning the mix's first query "
+                        "key S seconds into the run (needs --router; "
+                        "the failover drill)")
     p.add_argument("--clients", type=int, default=8)
     p.add_argument("--duration", type=float, default=10.0,
                    help="seconds of closed-loop load")
@@ -673,8 +885,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "this fraction")
     p.add_argument("--chaos", type=float, default=None, metavar="RATE",
                    help="install a fault plan firing conn drops, worker "
-                        "crashes, and cache corruption at RATE (implies "
-                        "--verify; needs --self-host)")
+                        "crashes, and cache corruption at RATE — plus "
+                        "shard-down and stale-route injections under "
+                        "--router (implies --verify; needs --self-host "
+                        "or --router)")
     p.add_argument("--chaos-seed", type=int, default=7,
                    help="fault-plan seed for --chaos (default: 7)")
     p.add_argument("--verify", action="store_true",
@@ -717,6 +931,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="size cap for prune (default: "
                         "REPRO_CACHE_MAX_BYTES)")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("fabric",
+                       help="sharded serve tier: consistent-hash router "
+                            "over N shard processes (docs/SERVE.md)")
+    fabric_sub = p.add_subparsers(dest="fabric_command", required=True)
+    pf = fabric_sub.add_parser(
+        "start", help="spawn N shard processes on ephemeral ports and "
+                      "run the router in the foreground")
+    pf.add_argument("--shards", type=int, default=3,
+                    help="shard process count (default: 3)")
+    pf.add_argument("--host", default="127.0.0.1",
+                    help="router bind host (non-loopback needs --token)")
+    pf.add_argument("--port", type=int, default=7440,
+                    help="router port (default: 7440)")
+    pf.add_argument("--token", default=None,
+                    help="shared fabric secret for client and shard "
+                         "handshakes (default: REPRO_SERVE_TOKEN)")
+    pf.add_argument("--auth-rate", type=float, default=None,
+                    help="per-token queries/second at the router")
+    pf.add_argument("--auth-burst", type=float, default=None,
+                    help="per-token bucket burst (default: max(rate, 1))")
+    pf.add_argument("--store-dir", default=None,
+                    help="shared persistent-store root the shards spill "
+                         "served results into (default: the result-cache "
+                         "directory)")
+    pf.add_argument("--pool", choices=("process", "thread"),
+                    default="process", help="shard model-pool kind")
+    pf.add_argument("--workers", type=int, default=2,
+                    help="model workers per shard (default: 2)")
+    pf.add_argument("--probe-interval", type=float, default=1.0,
+                    help="seconds between shard health probes")
+    pf.set_defaults(fn=cmd_fabric)
+    pf = fabric_sub.add_parser(
+        "status", help="render a router's shard-health snapshot")
+    pf.add_argument("--host", default="127.0.0.1")
+    pf.add_argument("--port", type=int, default=7440)
+    pf.add_argument("--token", default=None,
+                    help="shared fabric secret "
+                         "(default: REPRO_SERVE_TOKEN)")
+    pf.set_defaults(fn=cmd_fabric)
 
     p = sub.add_parser("suitability",
                        help="predict MMU benefit from an algorithm sketch")

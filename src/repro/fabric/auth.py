@@ -1,0 +1,106 @@
+"""Shared-token authentication for the serve fabric.
+
+The handshake is one JSON line (see
+:func:`repro.serve.protocol.encode_handshake`) sent before any query;
+a token-protected listener refuses *every* other first line with
+``auth_required`` — before the line is even parsed as a query — and a
+wrong or ill-formed token with ``bad_token``.  Token comparison uses
+``hmac.compare_digest`` so timing does not leak prefix matches.
+
+After a successful handshake every request on the connection passes a
+per-token :class:`~repro.serve.admission.TokenBucket`, so one credential
+cannot starve the others even behind the global rate gate.  Both the
+shard server and the router reuse :func:`auth_gate` for the connection
+state machine, keeping refusal semantics identical at every hop.
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from typing import Callable, Iterable
+
+from ..serve.admission import TokenBucket
+from ..serve.protocol import (
+    HANDSHAKE_VERSION,
+    ProtocolError,
+    Response,
+    decode_handshake,
+    encode_response,
+)
+
+__all__ = ["Authenticator", "auth_gate", "handshake_ok_line"]
+
+
+class Authenticator:
+    """Verifies handshake tokens and rate-limits per credential."""
+
+    def __init__(self, tokens: str | Iterable[str], *,
+                 rate: float | None = None, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if isinstance(tokens, str):
+            tokens = [tokens]
+        self.tokens = tuple(tokens)
+        if not self.tokens or any(not t for t in self.tokens):
+            raise ValueError("authentication tokens must be non-empty")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def verify(self, token: str) -> bool:
+        """Constant-time membership test against every known token."""
+        ok = False
+        for known in self.tokens:
+            # no early exit: check every token so timing stays flat
+            ok = hmac.compare_digest(token, known) or ok
+        return ok
+
+    def handshake(self, line: str) -> str:
+        """Validate one first line; returns the token or raises.
+
+        ``auth_required`` when the line is not a handshake frame at all,
+        ``bad_token`` when it is one but fails validation or carries an
+        unknown token.
+        """
+        token = decode_handshake(line)
+        if not self.verify(token):
+            raise ProtocolError("bad_token", "unknown handshake token")
+        return token
+
+    def try_rate(self, token: str) -> bool:
+        """Take one request from the token's bucket (True = admitted)."""
+        if self.rate is None:
+            return True
+        bucket = self._buckets.get(token)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.rate, burst=self.burst,
+                                 clock=self._clock)
+            self._buckets[token] = bucket
+        return bucket.try_acquire()
+
+
+def handshake_ok_line(shard_id: str | None) -> str:
+    """The reply line confirming a handshake (carries our identity)."""
+    return encode_response(Response(
+        id=None, ok=True,
+        result={"fabric": HANDSHAKE_VERSION, "shard_id": shard_id},
+        served_by="auth", shard_id=shard_id))
+
+
+def auth_gate(auth: Authenticator, text: str,
+              shard_id: str | None) -> tuple[str, str | None]:
+    """One un-authenticated first line through the gate.
+
+    Returns ``(reply_line, token)``; ``token`` is None on refusal, in
+    which case the caller closes the connection after writing the reply.
+    """
+    try:
+        token = auth.handshake(text)
+    except ProtocolError as exc:
+        reply = encode_response(Response(
+            id=None, ok=False,
+            error={"code": exc.code, "message": exc.message},
+            served_by="auth", shard_id=shard_id))
+        return reply, None
+    return handshake_ok_line(shard_id), token

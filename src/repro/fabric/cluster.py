@@ -1,0 +1,274 @@
+"""Fabric assembly: shard processes, hosted shards, hosted routers.
+
+Two ways to stand a fabric up:
+
+* :func:`spawn_local_shards` launches N real ``repro serve`` *processes*
+  (``python -m repro serve --port 0 ...``), parses each one's listen
+  banner for the ephemeral port, and returns their
+  :class:`~repro.fabric.router.ShardSpec` list — what ``repro fabric
+  start`` runs in production shape.
+* :class:`HostedFabric` runs N in-process shard services (thread-pool
+  model workers, each on its own background event loop) behind an
+  in-process :class:`HostedRouter` — the zero-setup shape the tests and
+  ``repro loadgen --router`` use, with :meth:`HostedFabric.kill_shard`
+  as the failover drill trigger.
+
+Both shapes speak the same wire protocol through the same router code,
+so a drill passing against ``HostedFabric`` exercises the code paths the
+process deployment runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import select
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from ..serve.loadgen import HostedService
+from ..serve.protocol import normalize_params
+from ..serve.scheduler import query_key
+from ..serve.server import ServeConfig
+from .router import FabricRouter, RouterConfig, ShardSpec
+
+__all__ = ["HostedFabric", "HostedRouter", "spawn_local_shards",
+           "terminate_shards"]
+
+#: matches the ``repro serve`` listen banner to learn the bound port
+_BANNER_RE = re.compile(r"listening on ([^\s:]+):(\d+)")
+
+
+class HostedRouter:
+    """A FabricRouter on a background thread (mirrors HostedService)."""
+
+    def __init__(self, router: FabricRouter) -> None:
+        self.router = router
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.address = loop.run_until_complete(self.router.start_tcp())
+        except BaseException as exc:  # surface bind failures to the caller
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.router.stop())
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-fabric-router")
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None, "router failed to start"
+        return self.address
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "HostedRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class HostedFabric:
+    """N in-process shards behind an in-process router (tests, loadgen).
+
+    Every shard runs a full :class:`CharacterizationService` (thread
+    model pool) on its own background loop; the router consistent-hashes
+    across them exactly as it would across processes.  ``address`` is
+    the router endpoint once started.
+    """
+
+    def __init__(self, shards: int = 3, *, token: str | None = None,
+                 persist: bool = False, store_dir: str | None = None,
+                 probe_interval_s: float = 0.25,
+                 shard_workers: int = 2,
+                 router_config: RouterConfig | None = None) -> None:
+        if shards < 1:
+            raise ValueError("a fabric needs at least one shard")
+        self.token = token
+        self._configs = [
+            ServeConfig(host="127.0.0.1", port=0, pool_mode="thread",
+                        workers=shard_workers, batch_window_s=0.01,
+                        shard_id=f"s{i}", token=token,
+                        persist=persist, store_dir=store_dir)
+            for i in range(shards)]
+        self._router_config = router_config
+        self._probe_interval_s = probe_interval_s
+        self._shards: dict[str, HostedService] = {}
+        self.router: FabricRouter | None = None
+        self.hosted_router: HostedRouter | None = None
+        self.address: tuple[str, int] | None = None
+
+    def start(self) -> tuple[str, int]:
+        specs = []
+        try:
+            for config in self._configs:
+                hosted = HostedService(config)
+                host, port = hosted.start()
+                self._shards[config.shard_id] = hosted
+                specs.append(ShardSpec(config.shard_id, host, port))
+            config = self._router_config
+            if config is None:
+                config = RouterConfig(
+                    host="127.0.0.1", port=0, token=self.token,
+                    probe_interval_s=self._probe_interval_s)
+            self.router = FabricRouter(specs, config)
+            self.hosted_router = HostedRouter(self.router)
+            self.address = self.hosted_router.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self.address
+
+    def stop(self) -> None:
+        if self.hosted_router is not None:
+            self.hosted_router.stop()
+            self.hosted_router = None
+        for hosted in self._shards.values():
+            hosted.stop()
+        self._shards.clear()
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Abruptly kill one shard (connections reset, no drain)."""
+        self._shards[shard_id].kill()
+
+    def owner_of(self, kind: str, params: dict[str, Any] | None) -> str:
+        """Which shard currently owns this query (the drill's victim)."""
+        assert self.router is not None, "fabric not started"
+        key = query_key(kind, normalize_params(kind, params))
+        owner = self.router.ring.owner(key, self.router.alive_ids())
+        assert owner is not None
+        return owner
+
+    def __enter__(self) -> "HostedFabric":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+# ------------------------------------------------------------- processes
+
+def _await_banner(proc: subprocess.Popen, shard_id: str,
+                  timeout_s: float) -> tuple[str, int]:
+    """Read the shard's stdout until the listen banner names its port."""
+    deadline = time.monotonic() + timeout_s
+    collected: list[str] = []
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"shard {shard_id} exited with {proc.returncode} before "
+                f"listening; output: {''.join(collected)[-2000:]!r}")
+        ready, _, _ = select.select([proc.stdout], [], [], 0.25)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            continue
+        collected.append(line)
+        match = _BANNER_RE.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise RuntimeError(
+        f"shard {shard_id} did not report a listen address within "
+        f"{timeout_s:.0f}s; output: {''.join(collected)[-2000:]!r}")
+
+
+def spawn_local_shards(count: int, *, token: str | None = None,
+                       store_dir: str | None = None,
+                       pool: str = "process", workers: int = 2,
+                       timeout_s: float = 60.0
+                       ) -> tuple[list[subprocess.Popen],
+                                  list[ShardSpec]]:
+    """Launch N ``repro serve`` shard processes on ephemeral ports.
+
+    The token travels via ``REPRO_SERVE_TOKEN`` (not argv, which is
+    world-readable in a process listing).  Persistence is always on —
+    the shards share ``store_dir`` so failover peers and restarts warm
+    from each other's answers.
+    """
+    if count < 1:
+        raise ValueError("a fabric needs at least one shard")
+    env = dict(os.environ)
+    # make the repro package importable in the children regardless of
+    # how this process found it
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + existing if existing else "")
+    if token is not None:
+        env["REPRO_SERVE_TOKEN"] = token
+    procs: list[subprocess.Popen] = []
+    specs: list[ShardSpec] = []
+    try:
+        for i in range(count):
+            shard_id = f"s{i}"
+            cmd = [sys.executable, "-m", "repro", "serve",
+                   "--host", "127.0.0.1", "--port", "0",
+                   "--shard-id", shard_id, "--pool", pool,
+                   "--workers", str(workers), "--persist"]
+            if store_dir is not None:
+                cmd += ["--store-dir", store_dir]
+            proc = subprocess.Popen(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=env)
+            procs.append(proc)
+            host, port = _await_banner(proc, shard_id, timeout_s)
+            specs.append(ShardSpec(shard_id, host, port))
+    except BaseException:
+        terminate_shards(procs)
+        raise
+    return procs, specs
+
+
+def terminate_shards(procs: list[subprocess.Popen],
+                     timeout_s: float = 10.0) -> None:
+    """SIGTERM every shard (they drain), escalating to SIGKILL."""
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    deadline = time.monotonic() + timeout_s
+    for proc in procs:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            proc.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)

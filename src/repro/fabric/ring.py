@@ -1,0 +1,90 @@
+"""Deterministic consistent-hash ring with virtual nodes.
+
+The router places every shard at :attr:`HashRing.replicas` pseudo-random
+points on a 64-bit ring (SHA-256 of ``"{shard_id}#{replica}"`` — never
+Python's salted ``hash()``, so placement is identical in every process)
+and routes a query key to the first shard point at or after the key's
+own hash.  Virtual nodes smooth the per-shard load; consistent hashing
+gives the minimal-disruption property the serve tier needs: when a shard
+dies, only the keys it owned move (to the next point on the ring), so
+the surviving shards' served-result LRUs and coalescing windows stay
+warm.
+
+:meth:`HashRing.owners` returns the *failover order* for a key — the
+unique shards in ring-walk order — which is exactly the replay sequence
+the router tries when an owner is down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """Maps content keys to shard ids, stably across processes."""
+
+    def __init__(self, shard_ids: Sequence[str], *,
+                 replicas: int = 64) -> None:
+        ids = list(shard_ids)
+        if not ids:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in {ids}")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_ids = tuple(ids)
+        self.replicas = replicas
+        points = [(self._hash(f"{sid}#{r}"), sid)
+                  for sid in ids for r in range(replicas)]
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    @staticmethod
+    def _hash(data: str) -> int:
+        """First 8 bytes of SHA-256, as the ring position."""
+        return int.from_bytes(
+            hashlib.sha256(data.encode()).digest()[:8], "big")
+
+    def owners(self, key: str,
+               alive: Iterable[str] | None = None) -> list[str]:
+        """Every eligible shard in failover (ring-walk) order for ``key``.
+
+        ``alive`` restricts the walk (unknown ids are ignored); ``None``
+        means every shard.  The first element is the key's owner; the
+        rest are the replay order when owners fail mid-query.
+        """
+        allowed = set(self.shard_ids) if alive is None \
+            else set(alive) & set(self.shard_ids)
+        if not allowed:
+            return []
+        start = bisect.bisect_right(self._hashes, self._hash(key))
+        out: list[str] = []
+        n = len(self._points)
+        for i in range(n):
+            sid = self._points[(start + i) % n][1]
+            if sid in allowed and sid not in out:
+                out.append(sid)
+                if len(out) == len(allowed):
+                    break
+        return out
+
+    def owner(self, key: str,
+              alive: Iterable[str] | None = None) -> str | None:
+        """The key's owning shard (None when nothing is alive)."""
+        owners = self.owners(key, alive)
+        return owners[0] if owners else None
+
+    def ownership(self, keys: Iterable[str],
+                  alive: Iterable[str] | None = None) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (load-balance probe)."""
+        counts = {sid: 0 for sid in self.shard_ids}
+        for key in keys:
+            sid = self.owner(key, alive)
+            if sid is not None:
+                counts[sid] += 1
+        return counts

@@ -1,0 +1,68 @@
+"""Persistent served-result store: the shard LRU spilled through disk.
+
+Each shard's :class:`~repro.serve.scheduler.Scheduler` keeps a bounded
+in-memory served-result LRU.  With persistence on, every completed
+answer is also written through :class:`~repro.perf.cache.ResultCache`
+(atomic writes, checksum trailers, quarantine-on-corruption, the
+injected ``cache.write_fail``/``cache.read_corrupt`` fault sites — all
+for free), so a restarted shard answers its first repeat query from
+disk instead of recomputing, and a failover shard can warm from a dead
+peer's answers when they share a store directory.
+
+Store keys mix :func:`~repro.perf.cache.package_source_token` into the
+query's content key: any code change invalidates every persisted answer,
+preserving the bit-identity contract — a stale answer from old code can
+never be served by new code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..perf.cache import ResultCache, content_key, package_source_token
+
+__all__ = ["ServedResultStore"]
+
+#: subdirectory (cache "kind") the served answers live under
+STORE_KIND = "serve_results"
+
+
+class ServedResultStore:
+    """Disk-backed map from query content keys to served answers."""
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 cache: ResultCache | None = None) -> None:
+        if cache is None:
+            # persistence was explicitly requested: force the disk tier
+            # on even when REPRO_CACHE=0 disables the compute cache
+            cache = ResultCache(directory, disk=True)
+        self.cache = cache
+        self.loads = 0
+        self.hits = 0
+        self.stores = 0
+
+    @staticmethod
+    def store_key(query_key: str) -> str:
+        """The on-disk address of one served answer."""
+        return content_key("serve.result", package_source_token(),
+                           query_key)
+
+    def load(self, query_key: str) -> tuple[bool, Any]:
+        """(found, payload) for a previously served answer."""
+        self.loads += 1
+        found, payload = self.cache.peek(STORE_KIND,
+                                         self.store_key(query_key))
+        if found:
+            self.hits += 1
+        return found, payload
+
+    def store(self, query_key: str, payload: Any) -> None:
+        """Spill one served answer (best-effort, like all cache writes)."""
+        self.stores += 1
+        self.cache.put(STORE_KIND, self.store_key(query_key), payload)
+
+    def counters(self) -> dict[str, int]:
+        """Telemetry-friendly counters."""
+        return {"loads": self.loads, "hits": self.hits,
+                "stores": self.stores}

@@ -26,7 +26,8 @@ class FaultSite:
     """One declared injection point."""
 
     name: str
-    #: subsystem the site lives in (executor / cache / serve / sweep)
+    #: subsystem the site lives in (executor / cache / serve / sweep /
+    #: fabric)
     layer: str
     #: what firing this site does, one sentence
     description: str
@@ -57,6 +58,15 @@ FAULT_SITES: tuple[FaultSite, ...] = (
         "sweep.kill", "sweep",
         "the sweeping process dies abruptly (os._exit, a stand-in for "
         "SIGKILL) right after journaling a completed grid point"),
+    FaultSite(
+        "fabric.shard_down", "fabric",
+        "the router's health probe treats a shard as unreachable for one "
+        "probe round, re-owning its hash ranges until the next probe"),
+    FaultSite(
+        "fabric.route_stale", "fabric",
+        "the router routes one query on the membership view from before "
+        "the last shard change, exercising failover replay when the "
+        "stale owner is gone"),
 )
 
 

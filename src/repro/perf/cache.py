@@ -33,7 +33,9 @@ depends on a write landing.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -47,6 +49,11 @@ from types import ModuleType
 from typing import Any, Callable, TypeVar
 
 import numpy as np
+
+try:  # POSIX advisory locking for the cross-process size ledger
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from .. import faults
 
@@ -298,6 +305,86 @@ class CacheStats:
         return self.memory_hits + self.disk_hits
 
 
+#: schema of the ``_ledger.json`` size ledger (bump on format change)
+_LEDGER_SCHEMA = 1
+
+
+class _SizeLedger:
+    """Lock-guarded ``_ledger.json``: relative path -> [bytes, mtime].
+
+    The ledger lets concurrent pruners (serve-fabric shards sharing one
+    store directory) evict by size without each re-statting every entry
+    on every pass.  The hot path never touches it — loads and stores
+    record into an in-memory pending set that :meth:`ResultCache.prune`
+    merges under the lock.  A missing or corrupt ledger degrades to a
+    full directory scan (the pre-ledger behavior), never to an error.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.path = directory / "_ledger.json"
+        self._lock_path = directory / "_ledger.lock"
+
+    @contextlib.contextmanager
+    def locked(self):
+        """Cross-process exclusive section (flock on ``_ledger.lock``)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:  # pragma: no cover - unwritable store
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def read(self) -> dict[str, list[float]] | None:
+        """The ledger contents, or None when absent/corrupt (=> rescan)."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != _LEDGER_SCHEMA:
+            return None
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return None
+        out: dict[str, list[float]] = {}
+        for rel, rec in entries.items():
+            if not (isinstance(rel, str) and isinstance(rec, list)
+                    and len(rec) == 2
+                    and all(isinstance(x, (int, float))
+                            and not isinstance(x, bool) for x in rec)):
+                return None
+            out[rel] = [int(rec[0]), float(rec[1])]
+        return out
+
+    def write(self, entries: dict[str, list[float]]) -> None:
+        """Atomically replace the ledger (best-effort, like the store)."""
+        blob = json.dumps(
+            {"schema": _LEDGER_SCHEMA,
+             "entries": {rel: entries[rel] for rel in sorted(entries)}},
+            separators=(",", ":"))
+        tmp = None
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - unwritable store
+            if tmp is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+
+
 class ResultCache:
     """Two-tier (memory LRU + on-disk pickle) content-addressed store.
 
@@ -324,11 +411,30 @@ class ResultCache:
             else default_max_disk_bytes()
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self._writes_since_prune = 0
+        self._ledger = _SizeLedger(self.directory)
+        #: entries this process wrote/touched since the last prune,
+        #: rel path -> [size, mtime]; merged into the ledger under lock
+        self._pending_ledger: dict[str, list[float]] = {}
+        #: entries this process removed (quarantine) since the last prune
+        self._pending_drops: set[str] = set()
         self.stats = CacheStats()
 
     # -------------------------------------------------------------- tiers
     def _entry_path(self, kind: str, key: str) -> Path:
         return self.directory / kind / f"{key}.pkl"
+
+    def _rel(self, path: Path) -> str:
+        return f"{path.parent.name}/{path.name}"
+
+    def _note_entry(self, path: Path, size: int) -> None:
+        rel = self._rel(path)
+        self._pending_drops.discard(rel)
+        self._pending_ledger[rel] = [int(size), time.time()]
+
+    def _note_drop(self, path: Path) -> None:
+        rel = self._rel(path)
+        self._pending_ledger.pop(rel, None)
+        self._pending_drops.add(rel)
 
     def _memory_put(self, key: str, value: Any) -> None:
         self._memory[key] = value
@@ -355,6 +461,7 @@ class ResultCache:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+        self._note_drop(path)
 
     def _disk_load(self, path: Path) -> tuple[bool, Any]:
         if not self.disk:
@@ -385,6 +492,7 @@ class ResultCache:
             os.utime(path)  # refresh mtime: the LRU recency for pruning
         except OSError:  # pragma: no cover - read-only store
             pass
+        self._note_entry(path, len(blob))
         return True, value
 
     def _disk_store(self, path: Path, value: Any) -> None:
@@ -409,6 +517,7 @@ class ResultCache:
                 raise
         except OSError:
             return  # unwritable: caching is best-effort
+        self._note_entry(path, len(blob))
         if self.max_disk_bytes is not None:
             self._writes_since_prune += 1
             if self._writes_since_prune >= self.PRUNE_EVERY:
@@ -435,6 +544,37 @@ class ResultCache:
         self._disk_store(path, value)
         self._memory_put(mem_key, value)
         return value
+
+    def peek(self, kind: str, key: str) -> tuple[bool, Any]:
+        """Lookup without computing: (found, value).
+
+        Promotes a disk hit into the memory tier like
+        :meth:`get_or_compute`, but a miss stays a miss — the primitive
+        the serve fabric's persistent served-result store needs (the
+        answer may not be worth computing synchronously here).
+        """
+        mem_key = f"{kind}/{key}"
+        if mem_key in self._memory:
+            self.stats.memory_hits += 1
+            self._memory.move_to_end(mem_key)
+            return True, self._memory[mem_key]
+        found, value = self._disk_load(self._entry_path(kind, key))
+        if found:
+            self.stats.disk_hits += 1
+            self._memory_put(mem_key, value)
+            return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Store a value computed elsewhere under ``(kind, key)``.
+
+        Write-through to both tiers, same best-effort contract as
+        :meth:`get_or_compute` (an injected or real disk failure drops
+        the write silently).
+        """
+        self._disk_store(self._entry_path(kind, key), value)
+        self._memory_put(f"{kind}/{key}", value)
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier is untouched)."""
@@ -488,7 +628,8 @@ class ResultCache:
                          quarantined_entries=len(quarantined),
                          quarantined_bytes=sum(s for _, s, _ in quarantined))
 
-    def prune(self, max_bytes: int | None = None) -> PruneResult:
+    def prune(self, max_bytes: int | None = None, *,
+              rebuild_ledger: bool = False) -> PruneResult:
         """Evict least-recently-used entries until the store fits.
 
         Recency is the entry's mtime, refreshed on every disk hit, so
@@ -498,27 +639,60 @@ class ResultCache:
         files from writers that died mid-write (older than an hour, so
         in-flight writes are never raced), and quarantined entries beyond
         the newest :data:`_QUARANTINE_KEEP`.
+
+        Sizes come from the cross-process ``_ledger.json`` when present:
+        each pruner merges its own pending writes/touches under the
+        ledger lock instead of re-statting the whole disk tier, so N
+        concurrent shard pruners cost one directory scan total, not N per
+        pass.  ``rebuild_ledger=True`` forces a full rescan (resyncing
+        after out-of-band deletions); a missing or corrupt ledger
+        rebuilds the same way automatically.
         """
         self._sweep_debris()
         cap = self.max_disk_bytes if max_bytes is None else max_bytes
-        entries = self._disk_entries()
-        total = sum(size for _, size, _ in entries)
-        removed_entries = removed_bytes = 0
-        if cap is not None:
-            for path, size, _ in sorted(entries, key=lambda e: e[2]):
-                if total <= cap:
-                    break
-                try:
-                    path.unlink()
-                except OSError:  # pragma: no cover - raced deletion
-                    continue
-                total -= size
-                removed_entries += 1
-                removed_bytes += size
+        with self._ledger.locked():
+            entries = None if rebuild_ledger else self._ledger.read()
+            if entries is None:
+                # scan and start fresh: the scan's mtimes are newer truth
+                # than any pending touch recorded before it ran
+                entries = {self._rel(p): [size, mtime]
+                           for p, size, mtime in self._disk_entries()}
+                self._pending_ledger.clear()
+            else:
+                for rel in self._pending_drops:
+                    entries.pop(rel, None)
+                for rel, rec in self._pending_ledger.items():
+                    old = entries.get(rel)
+                    mtime = rec[1] if old is None else max(rec[1], old[1])
+                    entries[rel] = [rec[0], mtime]
+                self._pending_ledger.clear()
+            self._pending_drops.clear()
+            total = int(sum(rec[0] for rec in entries.values()))
+            removed_entries = removed_bytes = 0
+            if cap is not None:
+                for rel in sorted(entries, key=lambda r: entries[r][1]):
+                    if total <= cap:
+                        break
+                    size = int(entries[rel][0])
+                    try:
+                        (self.directory / rel).unlink()
+                    except FileNotFoundError:
+                        # removed out-of-band (another pruner, a manual
+                        # rm): drop the ghost without counting it
+                        entries.pop(rel)
+                        total -= size
+                        continue
+                    except OSError:  # pragma: no cover - raced deletion
+                        continue
+                    entries.pop(rel)
+                    total -= size
+                    removed_entries += 1
+                    removed_bytes += size
+            self._ledger.write(entries)
         return PruneResult(
             removed_entries=removed_entries,
             removed_bytes=removed_bytes,
-            remaining_entries=len(entries) - removed_entries,
+            remaining_entries=len(entries),
             remaining_bytes=total,
         )
 

@@ -29,20 +29,30 @@ from .loadgen import (
 )
 from .protocol import (
     ERROR_CODES,
+    HANDSHAKE_MAX_BYTES,
+    HANDSHAKE_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     QUERY_KINDS,
     Request,
     Response,
+    decode_handshake,
     decode_request,
     decode_response,
+    encode_handshake,
     encode_request,
     encode_response,
+    is_handshake_line,
     normalize_params,
 )
 from .queries import resolve_perf_batch, resolve_query
 from .scheduler import ModelPool, Scheduler, query_key
-from .server import CharacterizationService, ServeConfig, run_query_locally
+from .server import (
+    CharacterizationService,
+    ServeConfig,
+    require_loopback_or_token,
+    run_query_locally,
+)
 from .telemetry import RollingHistogram, Telemetry, Trace
 
 __all__ = [
@@ -59,15 +69,20 @@ __all__ = [
     "reference_digests",
     "run_loadgen",
     "ERROR_CODES",
+    "HANDSHAKE_MAX_BYTES",
+    "HANDSHAKE_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QUERY_KINDS",
     "Request",
     "Response",
+    "decode_handshake",
     "decode_request",
     "decode_response",
+    "encode_handshake",
     "encode_request",
     "encode_response",
+    "is_handshake_line",
     "normalize_params",
     "resolve_perf_batch",
     "resolve_query",
@@ -76,6 +91,7 @@ __all__ = [
     "query_key",
     "CharacterizationService",
     "ServeConfig",
+    "require_loopback_or_token",
     "run_query_locally",
     "RollingHistogram",
     "Telemetry",

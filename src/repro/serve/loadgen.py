@@ -109,6 +109,23 @@ class HostedService:
         if self._thread is not None:
             self._thread.join(timeout=30)
 
+    def kill(self) -> None:
+        """Abrupt stop: reset every connection without draining.
+
+        The in-process stand-in for ``kill -9`` on a shard — clients
+        (and the fabric router) see hard connection resets mid-query,
+        which is exactly what failover drills must absorb.
+        """
+        if self._loop is not None and self._loop.is_running() \
+                and self.service is not None:
+            fut = asyncio.run_coroutine_threadsafe(self.service.abort(),
+                                                   self._loop)
+            try:
+                fut.result(timeout=10)
+            except Exception:  # pragma: no cover - loop already dying
+                pass
+        self.stop()
+
     def __enter__(self) -> "HostedService":
         self.start()
         return self
@@ -122,6 +139,7 @@ class _ClientStats:
         self.latencies: list[float] = []
         self.served_by: dict[str, int] = {}
         self.kinds: dict[str, int] = {}
+        self.shards: dict[str, int] = {}
         self.errors: list[str] = []
         self.retries = 0
         self.wrong_answers = 0
@@ -165,13 +183,14 @@ def _client_loop(index: int, host: str, port: int, t_end: float,
                  mix: Sequence[tuple[str, Mapping[str, Any]]],
                  deadline_s: float | None, fresh: bool,
                  barrier: threading.Barrier, out: _ClientStats,
-                 retries: int, expected: Mapping[int, str] | None) -> None:
+                 retries: int, expected: Mapping[int, str] | None,
+                 token: str | None = None) -> None:
     picks = _lcg(index)
     try:
         barrier.wait(timeout=30)
     except threading.BrokenBarrierError:  # pragma: no cover - peer died
         return
-    client = ServeClient(host, port, retries=retries)
+    client = ServeClient(host, port, retries=retries, token=token)
     try:
         with client:
             while time.monotonic() < t_end:
@@ -186,6 +205,9 @@ def _client_loop(index: int, host: str, port: int, t_end: float,
                     return
                 out.latencies.append(time.perf_counter() - t0)
                 out.kinds[kind] = out.kinds.get(kind, 0) + 1
+                if resp.shard_id is not None:
+                    out.shards[resp.shard_id] = \
+                        out.shards.get(resp.shard_id, 0) + 1
                 if resp.ok:
                     out.served_by[resp.served_by] = \
                         out.served_by.get(resp.served_by, 0) + 1
@@ -218,7 +240,8 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
                 mix: Sequence[tuple[str, Mapping[str, Any]]] = DEFAULT_MIX,
                 deadline_s: float | None = None,
                 fresh: bool = False, verify: bool = False,
-                client_retries: int = 2) -> dict[str, Any]:
+                client_retries: int = 2,
+                token: str | None = None) -> dict[str, Any]:
     """Drive the server and summarize the run (see module docstring).
 
     ``verify`` digests every OK answer against an in-process reference
@@ -236,7 +259,7 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
         threading.Thread(target=_client_loop,
                          args=(i, host, port, t_end, mix, deadline_s,
                                fresh, barrier, stats[i], client_retries,
-                               expected),
+                               expected, token),
                          name=f"repro-loadgen-{i}", daemon=True)
         for i in range(clients)]
     for t in threads:
@@ -251,11 +274,14 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
     errors = [e for s in stats for e in s.errors]
     served_by: dict[str, int] = {}
     kinds: dict[str, int] = {}
+    shards: dict[str, int] = {}
     for s in stats:
         for k, v in s.served_by.items():
             served_by[k] = served_by.get(k, 0) + v
         for k, v in s.kinds.items():
             kinds[k] = kinds.get(k, 0) + v
+        for k, v in s.shards.items():
+            shards[k] = shards.get(k, 0) + v
     total = len(latencies)
     reused = sum(served_by.get(k, 0)
                  for k in ("cache", "coalesced", "stale"))
@@ -264,7 +290,7 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
 
     metrics: dict[str, Any] | None = None
     try:
-        with ServeClient(host, port) as client:
+        with ServeClient(host, port, token=token) as client:
             resp = client.query("metrics")
             if resp.ok:
                 metrics = resp.result
@@ -285,6 +311,7 @@ def run_loadgen(host: str, port: int, *, clients: int = 8,
         "verified": verify,
         "served_by": dict(sorted(served_by.items())),
         "kinds": dict(sorted(kinds.items())),
+        "shards": dict(sorted(shards.items())),
         "latency": {
             "p50_s": _percentile(latencies, 0.50),
             "p95_s": _percentile(latencies, 0.95),
@@ -353,5 +380,7 @@ def format_loadgen_report(summary: Mapping[str, Any]) -> str:
     ]
     for served, count in summary["served_by"].items():
         rows.append([f"served by {served}", count])
+    for shard, count in summary.get("shards", {}).items():
+        rows.append([f"shard {shard}", count])
     return format_table(["metric", "value"], rows,
                         title="loadgen: closed-loop run summary")

@@ -41,19 +41,32 @@ from ..kernels.base import workload_names
 
 __all__ = [
     "ERROR_CODES",
+    "HANDSHAKE_MAX_BYTES",
+    "HANDSHAKE_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QUERY_KINDS",
     "Request",
     "Response",
+    "decode_handshake",
     "decode_request",
     "decode_response",
+    "encode_handshake",
     "encode_request",
     "encode_response",
+    "is_handshake_line",
     "normalize_params",
 ]
 
 PROTOCOL_VERSION = 1
+
+#: version of the authentication handshake frame (independent of the
+#: query protocol so auth can evolve without invalidating query clients)
+HANDSHAKE_VERSION = 1
+
+#: hard cap on a handshake line — tokens are short; anything longer is
+#: refused before being inspected further
+HANDSHAKE_MAX_BYTES = 4096
 
 #: every error code a response may carry
 ERROR_CODES = frozenset({
@@ -66,6 +79,9 @@ ERROR_CODES = frozenset({
     "circuit_open",      # breaker open and no stale answer to degrade to
     "model_error",       # resolver raised
     "internal",          # anything else server-side
+    "auth_required",     # token-protected server: no handshake yet
+    "bad_token",         # handshake carried a wrong/ill-formed token
+    "shard_unavailable", # router: no shard could answer (all owners down)
     "conn_dropped",      # client-side: the connection died mid-query
                          # (never sent by the server; raised locally by
                          # ServeClient, and retried when retries remain)
@@ -245,6 +261,60 @@ def normalize_params(kind: str, params: Mapping[str, Any] | None
     return QUERY_KINDS[kind](params)
 
 
+# -------------------------------------------------------------- handshake
+
+def encode_handshake(token: str) -> str:
+    """The authentication frame a client sends as its first line."""
+    return json.dumps({"fabric": HANDSHAKE_VERSION, "token": token},
+                      separators=(",", ":")) + "\n"
+
+
+def decode_handshake(line: str) -> str:
+    """Validate one handshake line and return its token.
+
+    Raises :class:`ProtocolError` with ``auth_required`` when the line is
+    not a handshake at all (so a token-protected server can refuse a bare
+    query before parsing it) and ``bad_token`` when it is a handshake but
+    an unacceptable one (oversized, wrong version, ill-formed token).
+    """
+    if len(line) > HANDSHAKE_MAX_BYTES:
+        raise ProtocolError(
+            "bad_token",
+            f"handshake line exceeds {HANDSHAKE_MAX_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        raise ProtocolError(
+            "auth_required",
+            "this server requires a fabric handshake as the first line") \
+            from None
+    if not isinstance(payload, dict) or "fabric" not in payload:
+        raise ProtocolError(
+            "auth_required",
+            "this server requires a fabric handshake as the first line")
+    if payload.get("fabric") != HANDSHAKE_VERSION:
+        raise ProtocolError(
+            "bad_token",
+            f"unsupported handshake version {payload.get('fabric')!r} "
+            f"(speaking {HANDSHAKE_VERSION})")
+    token = payload.get("token")
+    if not isinstance(token, str) or not token:
+        raise ProtocolError(
+            "bad_token", "handshake token must be a non-empty string")
+    return token
+
+
+def is_handshake_line(text: str) -> bool:
+    """Cheaply recognize a handshake frame (for tokenless servers)."""
+    if '"fabric"' not in text[:64]:
+        return False
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(payload, dict) and "fabric" in payload
+
+
 # -------------------------------------------------------------- envelopes
 
 @dataclass(frozen=True)
@@ -268,10 +338,12 @@ class Response:
     ok: bool
     result: Any = None
     error: dict[str, str] | None = None
-    #: model | coalesced | cache | stale
+    #: model | coalesced | cache | store | stale | auth | router
     served_by: str = "model"
     stale: bool = False
     trace: dict[str, float] | None = None
+    #: which shard produced the answer (None outside the fabric)
+    shard_id: str | None = None
 
 
 def encode_request(req: Request) -> str:
@@ -327,6 +399,8 @@ def encode_response(resp: Response) -> str:
         payload["error"] = resp.error
     if resp.trace is not None:
         payload["trace"] = resp.trace
+    if resp.shard_id is not None:
+        payload["shard_id"] = resp.shard_id
     return json.dumps(payload, separators=(",", ":")) + "\n"
 
 
@@ -346,4 +420,5 @@ def decode_response(line: str) -> Response:
         served_by=payload.get("served_by", "model"),
         stale=bool(payload.get("stale", False)),
         trace=payload.get("trace"),
+        shard_id=payload.get("shard_id"),
     )

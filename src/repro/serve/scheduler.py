@@ -115,7 +115,8 @@ class Scheduler:
                  = resolve_query,
                  perf_batch_resolver: Callable[
                      [Sequence[Mapping[str, Any]], int], list[Any]]
-                 = resolve_perf_batch) -> None:
+                 = resolve_perf_batch,
+                 store: Any | None = None) -> None:
         self.pool = pool
         self.admission = admission
         self.telemetry = telemetry
@@ -124,6 +125,8 @@ class Scheduler:
         self.results_cap = results_cap
         self._resolver = resolver
         self._perf_batch_resolver = perf_batch_resolver
+        #: optional ServedResultStore: persistent spill of the LRU
+        self.store = store
         self._inflight: dict[str, asyncio.Future] = {}
         self._results: OrderedDict[str, Any] = OrderedDict()
         self._pending_perf: dict[
@@ -147,7 +150,26 @@ class Scheduler:
             return True, self._results[key]
         return False, None
 
+    def persisted(self, key: str) -> tuple[bool, Any]:
+        """Persistent-store lookup: (found, payload).
+
+        A hit is promoted into the in-memory LRU so repeat queries stay
+        on the fast path — this is how a restarted shard warms from the
+        answers its previous incarnation spilled to disk.
+        """
+        if self.store is None:
+            return False, None
+        found, payload = self.store.load(key)
+        if found:
+            self._lru_put(key, payload)
+        return found, payload
+
     def remember(self, key: str, payload: Any) -> None:
+        self._lru_put(key, payload)
+        if self.store is not None:
+            self.store.store(key, payload)
+
+    def _lru_put(self, key: str, payload: Any) -> None:
         self._results[key] = payload
         self._results.move_to_end(key)
         while len(self._results) > self.results_cap:

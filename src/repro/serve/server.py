@@ -32,11 +32,34 @@ from .protocol import (
     Response,
     decode_request,
     encode_response,
+    is_handshake_line,
 )
 from .scheduler import ModelPool, Scheduler, query_key
 from .telemetry import Telemetry, Trace
 
-__all__ = ["CharacterizationService", "ServeConfig", "run_query_locally"]
+__all__ = ["CharacterizationService", "ServeConfig",
+           "require_loopback_or_token", "run_query_locally"]
+
+#: hosts the server may bind without authentication
+_LOOPBACK_HOSTS = frozenset({"localhost", "::1"})
+
+
+def require_loopback_or_token(host: str, has_token: bool,
+                              what: str = "serve") -> None:
+    """Refuse to bind a non-loopback interface without authentication.
+
+    Binding ``0.0.0.0`` (or any routable address) exposes the model to
+    the network; the fabric's contract is that such a listener always
+    demands the shared-token handshake first.  Loopback binds stay
+    token-optional for local development.
+    """
+    if has_token:
+        return
+    if host in _LOOPBACK_HOSTS or host.startswith("127."):
+        return
+    raise ValueError(
+        f"refusing to bind {what} on non-loopback {host!r} without "
+        f"authentication; pass --token (or REPRO_SERVE_TOKEN)")
 
 
 @dataclass(frozen=True)
@@ -60,6 +83,17 @@ class ServeConfig:
     breaker_cooldown_s: float = 10.0
     results_cap: int = 1024
     histogram_window: int = 2048
+    #: fabric identity stamped on every response (None outside a fabric)
+    shard_id: str | None = None
+    #: shared handshake secret; required before binding non-loopback
+    token: str | None = None
+    #: per-token queries/second after the handshake (None disables)
+    auth_rate: float | None = None
+    auth_burst: float | None = None
+    #: spill the served-result LRU through ResultCache (warm restarts)
+    persist: bool = False
+    #: persistent store directory (None = the default cache dir)
+    store_dir: str | None = None
 
 
 @dataclass
@@ -68,6 +102,7 @@ class _ServiceParts:
     admission: AdmissionController
     pool: ModelPool
     scheduler: Scheduler
+    store: Any
 
 
 def _build_parts(config: ServeConfig,
@@ -93,8 +128,15 @@ def _build_parts(config: ServeConfig,
         scheduler_kwargs["resolver"] = resolver
     if perf_batch_resolver is not None:
         scheduler_kwargs["perf_batch_resolver"] = perf_batch_resolver
+    store = None
+    if config.persist:
+        # imported here, not at module top: fabric modules import serve
+        # submodules, so a top-level import would be circular
+        from ..fabric.store import ServedResultStore
+        store = ServedResultStore(config.store_dir)
+        scheduler_kwargs["store"] = store
     scheduler = Scheduler(pool, admission, telemetry, **scheduler_kwargs)
-    return _ServiceParts(telemetry, admission, pool, scheduler)
+    return _ServiceParts(telemetry, admission, pool, scheduler, store)
 
 
 class CharacterizationService:
@@ -111,7 +153,17 @@ class CharacterizationService:
         self.admission = parts.admission
         self.pool = parts.pool
         self.scheduler = parts.scheduler
+        self.store = parts.store
+        self.auth = None
+        if self.config.token:
+            from ..fabric.auth import Authenticator  # avoid import cycle
+            self.auth = Authenticator(self.config.token,
+                                      rate=self.config.auth_rate,
+                                      burst=self.config.auth_burst)
         self._tcp_server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        if self.config.shard_id is not None:
+            self.telemetry.gauge("shard_id", self.config.shard_id)
 
     # ------------------------------------------------------------ pipeline
     async def handle(self, req: Request,
@@ -147,6 +199,12 @@ class CharacterizationService:
             if hit:
                 self.telemetry.inc("cache_hits_total")
                 return self._ok(req, payload, "cache", trace)
+            hit, payload = self.scheduler.persisted(key)
+            if hit:
+                # a previous process's answer, spilled through disk:
+                # bit-identical by the determinism contract
+                self.telemetry.inc("store_hits_total")
+                return self._ok(req, payload, "store", trace)
 
         with trace.phase("queue"):
             if not self.admission.try_rate():
@@ -192,23 +250,28 @@ class CharacterizationService:
                   code: str, message: str) -> Response:
         """Last-good answer marked stale, else the given error."""
         hit, payload = self.scheduler.cached(key)
+        if not hit:
+            hit, payload = self.scheduler.persisted(key)
         if hit:
             self.telemetry.inc("stale_served_total")
             return Response(id=req.id, ok=True, result=payload,
                             served_by="stale", stale=True,
-                            trace=trace.to_dict())
+                            trace=trace.to_dict(),
+                            shard_id=self.config.shard_id)
         raise ProtocolError(code, message)
 
     def _ok(self, req: Request, payload: Any, served_by: str,
             trace: Trace) -> Response:
         return Response(id=req.id, ok=True, result=payload,
-                        served_by=served_by, trace=trace.to_dict())
+                        served_by=served_by, trace=trace.to_dict(),
+                        shard_id=self.config.shard_id)
 
     def _error(self, req: Request, code: str, message: str,
                trace: Trace) -> Response:
         return Response(id=req.id, ok=False,
                         error={"code": code, "message": message},
-                        served_by="model", trace=trace.to_dict())
+                        served_by="model", trace=trace.to_dict(),
+                        shard_id=self.config.shard_id)
 
     # ---------------------------------------------------------- wire layer
     async def handle_line(self, line: str) -> str:
@@ -221,7 +284,8 @@ class CharacterizationService:
             self.telemetry.inc("errors_total")
             resp = Response(id=None, ok=False,
                             error={"code": exc.code, "message": exc.message},
-                            trace=trace.to_dict())
+                            trace=trace.to_dict(),
+                            shard_id=self.config.shard_id)
             return encode_response(resp)
         resp = await self.handle(req, trace)
         with trace.phase("serialize"):
@@ -235,13 +299,59 @@ class CharacterizationService:
     async def _client_connected(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         self.telemetry.inc("connections_total")
+        self._writers.add(writer)
+        authed: str | None = None
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # an oversized line (no newline within the stream
+                    # limit) cannot be parsed or resynchronized past:
+                    # refuse this connection; the accept loop lives on
+                    self.telemetry.inc("oversized_lines_total")
+                    break
                 if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # EOF cut the line mid-frame (the peer died while
+                    # writing): a fragment is not a request — discard it
+                    self.telemetry.inc("truncated_lines_total")
                     break
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
+                    continue
+                if self.auth is not None and authed is None:
+                    # token-protected: the first line must be a valid
+                    # handshake — refused before any query parsing
+                    from ..fabric.auth import auth_gate
+                    reply, authed = auth_gate(self.auth, text,
+                                              self.config.shard_id)
+                    writer.write(reply.encode())
+                    await writer.drain()
+                    if authed is None:
+                        self.telemetry.inc("auth_refused_total")
+                        break
+                    self.telemetry.inc("auth_ok_total")
+                    continue
+                if self.auth is None and is_handshake_line(text):
+                    # tokenless server: politely confirm a handshake so
+                    # fabric clients configured with a token still work
+                    from ..fabric.auth import handshake_ok_line
+                    writer.write(handshake_ok_line(
+                        self.config.shard_id).encode())
+                    await writer.drain()
+                    continue
+                if self.auth is not None \
+                        and not self.auth.try_rate(authed):
+                    self.telemetry.inc("token_rate_limited_total")
+                    writer.write(encode_response(Response(
+                        id=None, ok=False,
+                        error={"code": "rate_limited",
+                               "message": "per-token rate limit "
+                                          "exceeded"},
+                        shard_id=self.config.shard_id)).encode())
+                    await writer.drain()
                     continue
                 if faults.site("serve.conn_drop"):
                     # injected drop: close without replying — the client's
@@ -256,6 +366,7 @@ class CharacterizationService:
         except asyncio.CancelledError:
             pass  # service shutdown: just close the connection
         finally:
+            self._writers.discard(writer)
             # shutdown() before close(): a forked model-pool worker may
             # hold a duplicate of this fd (the pool is created lazily,
             # after connections exist), and close() alone would leave the
@@ -279,6 +390,7 @@ class CharacterizationService:
     # ------------------------------------------------------------ lifecycle
     async def start_tcp(self) -> tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
+        require_loopback_or_token(self.config.host, self.auth is not None)
         self._tcp_server = await asyncio.start_server(
             self._client_connected, self.config.host, self.config.port)
         sock = self._tcp_server.sockets[0]
@@ -294,6 +406,23 @@ class CharacterizationService:
             await self._tcp_server.wait_closed()
             self._tcp_server = None
         await self.scheduler.drain()
+        self.pool.shutdown()
+
+    async def abort(self) -> None:
+        """Abrupt shutdown: reset every connection, skip the drain.
+
+        The failover drill's stand-in for a killed shard process —
+        clients see connection resets mid-query, exactly what the
+        router's replay path must absorb.
+        """
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
         self.pool.shutdown()
 
     async def serve_forever(self) -> None:

@@ -1,0 +1,60 @@
+"""HashRing placement: determinism, minimal disruption, validation."""
+
+import pytest
+
+from repro.fabric.ring import HashRing
+
+SHARDS = ["s0", "s1", "s2"]
+KEYS = [f"key-{i}" for i in range(300)]
+
+
+class TestPlacement:
+    def test_owner_deterministic_across_instances_and_input_order(self):
+        a = HashRing(SHARDS)
+        b = HashRing(list(reversed(SHARDS)))
+        for key in KEYS:
+            assert a.owner(key) == b.owner(key)
+
+    def test_owners_is_failover_order_covering_every_shard(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            order = ring.owners(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == SHARDS  # each shard exactly once
+
+    def test_dead_shard_moves_only_its_own_keys(self):
+        """The consistent-hashing contract: removing one shard re-owns
+        that shard's keys and leaves every other placement untouched."""
+        ring = HashRing(SHARDS)
+        before = {key: ring.owner(key) for key in KEYS}
+        dead = ring.owner(KEYS[0])
+        alive = tuple(s for s in SHARDS if s != dead)
+        for key in KEYS:
+            after = ring.owner(key, alive)
+            if before[key] == dead:
+                assert after in alive
+            else:
+                assert after == before[key]
+
+    def test_virtual_nodes_spread_load(self):
+        ring = HashRing(SHARDS, replicas=64)
+        counts = ring.ownership(f"k{i}" for i in range(3000))
+        assert set(counts) == set(SHARDS)
+        # 64 replicas keep the skew well under 2x of the fair share
+        assert min(counts.values()) > 3000 / len(SHARDS) / 2
+
+    def test_alive_filter_ignores_unknown_ids_and_empty_set(self):
+        ring = HashRing(SHARDS)
+        assert ring.owner("k", ["s1", "ghost"]) == "s1"
+        assert ring.owner("k", ["ghost"]) is None
+        assert ring.owners("k", []) == []
+
+
+class TestValidation:
+    def test_rejects_empty_duplicate_and_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing(["a"], replicas=0)

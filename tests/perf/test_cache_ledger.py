@@ -1,0 +1,171 @@
+"""The cross-process size ledger behind :meth:`ResultCache.prune`.
+
+Concurrent pruners (fabric shards sharing one store directory) must not
+each re-stat the whole disk tier per pass: the first prune scans once
+and writes ``_ledger.json``; later prunes merge their in-memory pending
+notes under the file lock.  A missing, corrupt, or stale ledger always
+degrades to a rescan, never to wrong evictions.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.cache import ResultCache
+
+
+def make_cache(tmp_path, **kwargs):
+    return ResultCache(tmp_path / "cache", disk=True, **kwargs)
+
+
+def fill(cache, n, kind="blobs", size=100):
+    for i in range(n):
+        cache.put(kind, f"k{i:03d}", "x" * size)
+
+
+def space_mtimes(cache, kind="blobs"):
+    """Give the entries strictly increasing mtimes (k000 oldest) so the
+    LRU eviction order under test is deterministic, not clock-tied."""
+    for i, path in enumerate(sorted(cache.directory.glob(f"{kind}/*.pkl"))):
+        os.utime(path, (1000.0 + i, 1000.0 + i))
+
+
+def ledger_entries(cache):
+    payload = json.loads(
+        (cache.directory / "_ledger.json").read_text())
+    return payload["entries"]
+
+
+class TestLedgerLifecycle:
+    def test_first_prune_scans_and_writes_a_matching_ledger(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 5)
+        cache.prune()
+        entries = ledger_entries(cache)
+        on_disk = {f"{p.parent.name}/{p.name}"
+                   for p in cache.directory.glob("*/*.pkl")}
+        assert set(entries) == on_disk
+        for rel, (size, mtime) in entries.items():
+            assert size == (cache.directory / rel).stat().st_size
+            assert mtime > 0
+
+    def test_second_prune_uses_the_ledger_not_a_rescan(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 4)
+        cache.prune()
+
+        def boom():  # the whole point: no more full directory stats
+            raise AssertionError("prune re-scanned the disk tier")
+
+        cache._disk_entries = boom
+        result = cache.prune()
+        assert result.remaining_entries == 4
+
+    def test_pending_writes_merge_without_rescan(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 2)
+        cache.prune()
+        fill(cache, 2, kind="late")  # noted in _pending_ledger only
+        cache._disk_entries = lambda: pytest.fail("rescanned")
+        cache.prune()
+        assert len(ledger_entries(cache)) == 4
+
+    def test_corrupt_ledger_degrades_to_rescan(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 3)
+        cache.prune()
+        (cache.directory / "_ledger.json").write_text("{not json")
+        result = cache.prune()
+        assert result.remaining_entries == 3
+        assert len(ledger_entries(cache)) == 3
+
+    def test_rebuild_resyncs_after_out_of_band_deletion(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 3)
+        cache.prune()
+        victim = next(iter(sorted(cache.directory.glob("*/*.pkl"))))
+        victim.unlink()
+        # without rebuild the ledger still lists the ghost ...
+        assert len(ledger_entries(cache)) == 3
+        result = cache.prune(rebuild_ledger=True)
+        # ... with it the scan is authoritative again
+        assert result.remaining_entries == 2
+        assert len(ledger_entries(cache)) == 2
+
+
+class TestLedgerEviction:
+    def test_eviction_uses_ledger_sizes_and_lru_order(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 6, size=100)
+        space_mtimes(cache)
+        cache.prune()  # seed the ledger from the scan
+        entry_bytes = next(
+            iter(cache.directory.glob("*/*.pkl"))).stat().st_size
+        cache._disk_entries = lambda: pytest.fail("rescanned")
+        result = cache.prune(max_bytes=entry_bytes * 3)
+        assert result.removed_entries == 3
+        assert result.remaining_entries == 3
+        survivors = sorted(p.name for p in cache.directory.glob("*/*.pkl"))
+        # k000 got the oldest mtime: LRU evicts the oldest three
+        assert survivors == ["k003.pkl", "k004.pkl", "k005.pkl"]
+
+    def test_peek_touch_refreshes_recency_in_the_ledger(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 3)
+        space_mtimes(cache)            # k000 is the eviction candidate
+        cache.prune()
+        cache.clear_memory()           # force the next peek to hit disk
+        hit, _ = cache.peek("blobs", "k000")  # touch: now most recent
+        assert hit
+        entry_bytes = (cache.directory / "blobs" / "k001.pkl") \
+            .stat().st_size
+        result = cache.prune(max_bytes=entry_bytes * 2)
+        assert result.removed_entries == 1
+        survivors = {p.name for p in cache.directory.glob("*/*.pkl")}
+        assert "k000.pkl" in survivors  # the touch saved it
+        assert "k001.pkl" not in survivors
+
+    def test_ghost_entries_are_dropped_not_counted(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 3)
+        space_mtimes(cache)
+        cache.prune()
+        (cache.directory / "blobs" / "k000.pkl").unlink()
+        entry_bytes = (cache.directory / "blobs" / "k001.pkl") \
+            .stat().st_size
+        # cap of one entry: the ghost k000 is oldest but already gone —
+        # it must not count as removed, and k001 goes instead
+        result = cache.prune(max_bytes=entry_bytes)
+        assert result.removed_entries == 1
+        assert result.remaining_entries == 1
+        assert len(ledger_entries(cache)) == 1
+
+
+class TestSharedDirectory:
+    def test_two_instances_share_one_ledger(self, tmp_path):
+        """Two cache objects over one directory (two shard processes):
+        each prunes with its own pending notes; the ledger converges to
+        the union without either rescanning after the first pass."""
+        a = make_cache(tmp_path)
+        b = ResultCache(a.directory, disk=True)
+        fill(a, 2)
+        a.prune()
+        fill(b, 2, kind="other")
+        b._disk_entries = lambda: pytest.fail("b rescanned")
+        b.prune()
+        assert len(ledger_entries(a)) == 4
+
+    def test_drop_notes_remove_quarantined_entries(self, tmp_path):
+        cache = make_cache(tmp_path)
+        fill(cache, 2)
+        cache.prune()
+        path = cache.directory / "blobs" / "k000.pkl"
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4] + b"\x00\x00\x00\x00")  # break checksum
+        cache.clear_memory()
+        hit, _ = cache.peek("blobs", "k000")  # quarantines the entry
+        assert not hit
+        assert cache.stats.quarantined == 1
+        cache.prune()
+        assert "blobs/k000.pkl" not in ledger_entries(cache)
